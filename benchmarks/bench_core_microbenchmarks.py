@@ -1,0 +1,51 @@
+"""Micro-benchmarks of the protocol hot paths.
+
+These do not correspond to a paper experiment; they track the cost of the two
+operations executed on every node at every timer expiration — the ``ant``
+combination of the received lists and the full ``compute()`` procedure — so
+performance regressions of the core data structures are caught early.
+"""
+
+from repro.core.ancestor_list import AncestorList
+from repro.core.messages import GRPMessage
+from repro.core.node import GRPConfig, GRPNode
+
+
+def build_neighbour_lists(fanout=8, depth=3):
+    lists = []
+    for neighbour in range(fanout):
+        levels = [{f"n{neighbour}"}, {"v"}]
+        for level in range(depth - 1):
+            levels.append({f"n{neighbour}-{level}-{k}" for k in range(3)})
+        lists.append(AncestorList.from_levels(levels))
+    return lists
+
+
+def test_ant_combination_speed(benchmark):
+    lists = build_neighbour_lists()
+
+    def combine():
+        result = AncestorList.singleton("v")
+        for lst in lists:
+            result = result.ant(lst)
+        return result
+
+    result = benchmark(combine)
+    assert "v" in result
+
+
+def test_compute_speed(benchmark):
+    config = GRPConfig(dmax=4)
+    lists = build_neighbour_lists(fanout=8, depth=4)
+
+    def run_compute():
+        node = GRPNode("v", config)
+        for lst in lists:
+            sender = next(iter(lst.level_nodes(0)))
+            message = GRPMessage.build(sender, lst, priorities={sender: 0})
+            node.on_message(sender, message)
+        node.compute()
+        return node
+
+    node = benchmark(run_compute)
+    assert node.computations == 1

@@ -1,0 +1,15 @@
+"""Benchmark E10 — Optimized vs naive compatibleList (Prop 13).
+
+Regenerates the rows of experiment E10 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e10_compatibility
+
+
+def test_e10_compatibility(benchmark):
+    result = benchmark.pedantic(e10_compatibility, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark E1 — Stabilization of ΠA ∧ ΠS ∧ ΠM on static topologies (Props 7/8/12).
+
+Regenerates the rows of experiment E1 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e1_stabilization
+
+
+def test_e1_stabilization(benchmark):
+    result = benchmark.pedantic(e1_stabilization, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark E2 — Group diameters never exceed Dmax (Prop 8).
+
+Regenerates the rows of experiment E2 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e2_safety
+
+
+def test_e2_safety(benchmark):
+    result = benchmark.pedantic(e2_safety, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

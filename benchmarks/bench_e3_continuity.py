@@ -1,0 +1,15 @@
+"""Benchmark E3 — Best-effort continuity ΠT ⇒ ΠC under mobility (Prop 14).
+
+Regenerates the rows of experiment E3 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e3_continuity
+
+
+def test_e3_continuity(benchmark):
+    result = benchmark.pedantic(e3_continuity, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark E4 — VANET membership churn and group lifetime vs baselines.
+
+Regenerates the rows of experiment E4 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e4_vanet_churn
+
+
+def test_e4_vanet_churn(benchmark):
+    result = benchmark.pedantic(e4_vanet_churn, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

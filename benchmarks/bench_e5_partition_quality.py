@@ -1,0 +1,15 @@
+"""Benchmark E5 — Partition quality vs clusterhead baselines.
+
+Regenerates the rows of experiment E5 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e5_partition_quality
+
+
+def test_e5_partition_quality(benchmark):
+    result = benchmark.pedantic(e5_partition_quality, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark E6 — Recovery from transient memory corruption (Props 1/2).
+
+Regenerates the rows of experiment E6 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e6_fault_recovery
+
+
+def test_e6_fault_recovery(benchmark):
+    result = benchmark.pedantic(e6_fault_recovery, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

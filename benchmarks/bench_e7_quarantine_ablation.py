@@ -1,0 +1,15 @@
+"""Benchmark E7 — Quarantine ablation: view retractions.
+
+Regenerates the rows of experiment E7 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e7_quarantine_ablation
+
+
+def test_e7_quarantine_ablation(benchmark):
+    result = benchmark.pedantic(e7_quarantine_ablation, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

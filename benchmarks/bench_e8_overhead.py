@@ -1,0 +1,15 @@
+"""Benchmark E8 — Message and computation overhead vs n and Dmax.
+
+Regenerates the rows of experiment E8 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e8_overhead
+
+
+def test_e8_overhead(benchmark):
+    result = benchmark.pedantic(e8_overhead, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,15 @@
+"""Benchmark E9 — Group merging and the group-priority rule (Props 11/12).
+
+Regenerates the rows of experiment E9 (see DESIGN.md for the experiment
+index and EXPERIMENTS.md for the recorded results).  The benchmark measures
+the wall time of the quick-sized experiment and prints the result table.
+"""
+
+from repro.experiments.suite import e9_merging
+
+
+def test_e9_merging(benchmark):
+    result = benchmark.pedantic(e9_merging, kwargs={"quick": True}, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    assert result.rows

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""VANET convoy scenario: vehicles on a highway maintain best-effort groups.
+
+This is the motivating application of the paper: vehicles that cooperate
+(distributed perception, chat…) form groups whose diameter is bounded by the
+application; groups should survive as long as the vehicles stay close, split
+only when the diameter constraint forces it, and merge again when convoys
+catch up with each other.
+
+The example runs GRP over a two-lane ring road, samples the configuration
+every 2 seconds and reports group stability (membership churn, group lifetime)
+against an idealised Max-Min d-cluster baseline recomputed on every sample.
+
+Run with::
+
+    python examples/vanet_convoy.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines.maxmin import MaxMinDCluster
+from repro.experiments.runner import attach_baseline, run_with_sampler
+from repro.experiments.scenarios import vanet_highway
+from repro.metrics.groups import average_membership_churn, mean_group_lifetime
+from repro.metrics.report import print_table
+
+
+def run_variant(label, views_provider=None, seed=21):
+    deployment = vanet_highway(n=18, road_length=2000.0, radio_range=200.0, dmax=3,
+                               base_speed=25.0, seed=seed)
+    driver = None
+    if views_provider == "max-min":
+        driver = attach_baseline(deployment, MaxMinDCluster(), period=2.0)
+    sampler = run_with_sampler(deployment, duration=120.0, sample_interval=2.0,
+                               warmup=30.0,
+                               views_provider=driver.views if driver else None)
+    return {
+        "algorithm": label,
+        "membership churn / step": round(average_membership_churn(sampler.samples), 3),
+        "mean group lifetime (s)": round(mean_group_lifetime(sampler.samples), 1),
+        "mean #groups": round(sum(s.report.group_count for s in sampler.samples)
+                              / len(sampler.samples), 1),
+    }
+
+
+def main() -> None:
+    print("VANET convoy scenario — 18 vehicles, 2-lane ring road, Dmax = 3\n")
+    rows = [run_variant("GRP (best-effort groups)"),
+            run_variant("Max-Min d-cluster (recomputed)", views_provider="max-min")]
+    print_table(rows)
+    print("\nGRP keeps convoys together (low churn, long lifetimes); the re-clustering "
+          "baseline reshuffles membership whenever relative positions change.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Clustering baselines used as comparators in experiments E4/E5."""
+
+from .base import SnapshotClusteringAlgorithm, clusters_from_heads, partition_to_views
+from .kclustering import KHopClustering
+from .lowest_id import LowestIdClustering
+from .maxmin import MaxMinDCluster
+from .periodic import PeriodicClusteringDriver
+
+__all__ = [
+    "SnapshotClusteringAlgorithm",
+    "clusters_from_heads",
+    "partition_to_views",
+    "KHopClustering",
+    "LowestIdClustering",
+    "MaxMinDCluster",
+    "PeriodicClusteringDriver",
+]

@@ -1,0 +1,58 @@
+"""Interface of the clustering baselines.
+
+The related-work algorithms the paper positions itself against (k-clustering,
+Max-Min d-cluster, lowest-ID clustering) aim at *optimizing the partition* —
+few clusters, each centred on a clusterhead within ``d`` hops.  They are
+snapshot algorithms: given the current topology they output a partition.  Under
+mobility they are re-run periodically, which is precisely what causes the
+membership churn GRP avoids (experiments E4 / E5).
+
+:class:`SnapshotClusteringAlgorithm` is the common interface:
+``partition(graph, dmax)`` returns a mapping node -> frozenset of members.
+:class:`PeriodicClusteringProcess` adapts such an algorithm to the simulator so
+it can be measured with the same collectors as GRP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable
+
+import networkx as nx
+
+__all__ = ["SnapshotClusteringAlgorithm", "partition_to_views", "clusters_from_heads"]
+
+Views = Dict[Hashable, FrozenSet[Hashable]]
+
+
+class SnapshotClusteringAlgorithm:
+    """Computes a d-hop clustering of a topology snapshot."""
+
+    #: human-readable identifier used in experiment tables
+    name: str = "abstract"
+
+    def partition(self, graph: nx.Graph, dmax: int) -> Views:
+        """Return the views (node -> members of its cluster) for this snapshot."""
+        raise NotImplementedError
+
+
+def clusters_from_heads(graph: nx.Graph, heads: Dict[Hashable, Hashable]) -> Views:
+    """Build views from a clusterhead assignment (node -> its head)."""
+    members: Dict[Hashable, set] = {}
+    for node, head in heads.items():
+        members.setdefault(head, set()).add(node)
+    views: Views = {}
+    for head, cluster in members.items():
+        frozen = frozenset(cluster)
+        for node in cluster:
+            views[node] = frozen
+    return views
+
+
+def partition_to_views(clusters) -> Views:
+    """Build views from an iterable of member collections."""
+    views: Views = {}
+    for cluster in clusters:
+        frozen = frozenset(cluster)
+        for node in frozen:
+            views[node] = frozen
+    return views

@@ -1,0 +1,63 @@
+"""Greedy k-hop dominating-set clustering.
+
+A stand-in for the self-stabilizing O(k)-time k-clustering algorithms cited by
+the paper (Datta, Larmore, Vemula 2009; Amis et al.; Kutten & Peleg): compute a
+k-dominating set greedily (highest residual coverage first), then attach every
+node to its closest dominator.  With ``k = floor(dmax / 2)`` the cluster
+diameter is at most ``dmax``.  Like every clusterhead approach, the output is
+recomputed from scratch on each snapshot, so cluster membership is unstable
+under mobility — the behaviour experiments E4/E5 contrast with GRP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+import networkx as nx
+
+from .base import SnapshotClusteringAlgorithm, Views, clusters_from_heads
+
+__all__ = ["KHopClustering"]
+
+
+class KHopClustering(SnapshotClusteringAlgorithm):
+    """Greedy k-dominating-set based clustering."""
+
+    name = "k-hop"
+
+    def __init__(self, k: Optional[int] = None):
+        self.k = k
+
+    def partition(self, graph: nx.Graph, dmax: int) -> Views:
+        if dmax < 1:
+            raise ValueError("dmax must be >= 1")
+        k = self.k if self.k is not None else max(1, dmax // 2)
+        nodes = list(graph.nodes)
+        if not nodes:
+            return {}
+        coverage = {node: nx.single_source_shortest_path_length(graph, node, cutoff=k)
+                    for node in nodes}
+        uncovered: Set[Hashable] = set(nodes)
+        dominators = []
+        while uncovered:
+            best = max(nodes,
+                       key=lambda n: (len(set(coverage[n]) & uncovered), -len(str(n)), str(n)))
+            gained = set(coverage[best]) & uncovered
+            if not gained:
+                # Remaining nodes are isolated from every candidate: make them dominators.
+                dominators.extend(sorted(uncovered, key=str))
+                break
+            dominators.append(best)
+            uncovered -= gained
+        head_of: Dict[Hashable, Hashable] = {}
+        for node in nodes:
+            best = None
+            best_dist = None
+            for head in dominators:
+                dist = coverage[head].get(node)
+                if dist is None:
+                    continue
+                if best_dist is None or (dist, str(head)) < (best_dist, str(best)):
+                    best, best_dist = head, dist
+            head_of[node] = best if best is not None else node
+        return clusters_from_heads(graph, head_of)

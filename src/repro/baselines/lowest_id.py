@@ -1,0 +1,42 @@
+"""Lowest-ID d-hop clustering.
+
+The classic clusterhead heuristic (Lin & Gerla / DCA family) generalized to
+``d`` hops: repeatedly pick the smallest-identifier node not yet covered as a
+clusterhead and assign to it every uncovered node within ``floor(dmax / 2)``
+hops, so that the cluster diameter stays within ``dmax``.  The partition is
+optimal in neither size nor stability — a tiny identifier change or a single
+moved node can reshuffle whole clusters, which is the membership-churn weakness
+experiment E4 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable
+
+import networkx as nx
+
+from .base import SnapshotClusteringAlgorithm, Views
+
+__all__ = ["LowestIdClustering"]
+
+
+class LowestIdClustering(SnapshotClusteringAlgorithm):
+    """Greedy lowest-identifier clusterhead selection with radius ``floor(dmax/2)``."""
+
+    name = "lowest-id"
+
+    def partition(self, graph: nx.Graph, dmax: int) -> Views:
+        if dmax < 1:
+            raise ValueError("dmax must be >= 1")
+        radius = max(dmax // 2, 0)
+        uncovered = set(graph.nodes)
+        views: Views = {}
+        for head in sorted(graph.nodes, key=str):
+            if head not in uncovered:
+                continue
+            reachable = nx.single_source_shortest_path_length(graph, head, cutoff=radius)
+            members = frozenset(node for node in reachable if node in uncovered)
+            for node in members:
+                views[node] = members
+                uncovered.discard(node)
+        return views

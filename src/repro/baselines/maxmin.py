@@ -1,0 +1,107 @@
+"""Max-Min d-cluster formation (Amis, Prakash, Vuong, Huynh — INFOCOM 2000).
+
+The heuristic the paper cites as representative of d-hop clusterhead
+algorithms.  Each node runs ``2d`` rounds of flooding:
+
+* *floodmax* (d rounds): every node repeatedly adopts the largest identifier
+  heard in its neighbourhood — after d rounds ``winner[v]`` is the largest id
+  within d hops;
+* *floodmin* (d rounds): starting from the floodmax result, every node adopts
+  the smallest value heard — this lets smaller ids "reclaim" territory and
+  reduces clusterhead domination;
+* clusterhead election: a node whose own id survived either phase (or that saw
+  itself as a *node pair*) becomes a clusterhead; other nodes attach to the
+  closest elected clusterhead within d hops.
+
+We implement the synchronous-round version on a topology snapshot (the paper's
+setting is also round-based).  ``d`` is taken as ``max(1, dmax // 2)`` so the
+resulting cluster diameter is comparable to a GRP group with the same ``Dmax``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set
+
+import networkx as nx
+
+from .base import SnapshotClusteringAlgorithm, Views, clusters_from_heads
+
+__all__ = ["MaxMinDCluster"]
+
+
+class MaxMinDCluster(SnapshotClusteringAlgorithm):
+    """Max-Min d-cluster heuristic on a topology snapshot."""
+
+    name = "max-min"
+
+    def __init__(self, d: Optional[int] = None):
+        self.d = d
+
+    def _rounds(self, dmax: int) -> int:
+        return self.d if self.d is not None else max(1, dmax // 2)
+
+    def partition(self, graph: nx.Graph, dmax: int) -> Views:
+        if dmax < 1:
+            raise ValueError("dmax must be >= 1")
+        d = self._rounds(dmax)
+        nodes = list(graph.nodes)
+        if not nodes:
+            return {}
+        key = {node: str(node) for node in nodes}
+
+        # --- floodmax -------------------------------------------------------
+        winner: Dict[Hashable, Hashable] = {node: node for node in nodes}
+        floodmax_history: List[Dict[Hashable, Hashable]] = []
+        for _ in range(d):
+            new_winner = {}
+            for node in nodes:
+                candidates = [winner[node]] + [winner[nbr] for nbr in graph.neighbors(node)]
+                new_winner[node] = max(candidates, key=lambda c: key[c])
+            winner = new_winner
+            floodmax_history.append(dict(winner))
+        floodmax_result = dict(winner)
+
+        # --- floodmin -------------------------------------------------------
+        for _ in range(d):
+            new_winner = {}
+            for node in nodes:
+                candidates = [winner[node]] + [winner[nbr] for nbr in graph.neighbors(node)]
+                new_winner[node] = min(candidates, key=lambda c: key[c])
+            winner = new_winner
+        floodmin_result = dict(winner)
+
+        # --- clusterhead election (rules 1-3 of the paper) -------------------
+        heads: Set[Hashable] = set()
+        head_of: Dict[Hashable, Hashable] = {}
+        for node in nodes:
+            if floodmin_result[node] == node or floodmax_result[node] == node:
+                # Rule 1: the node elected itself.
+                heads.add(node)
+                head_of[node] = node
+            elif floodmin_result[node] == floodmax_result[node]:
+                # Rule 2 (node pair): adopt the shared value as head.
+                head_of[node] = floodmin_result[node]
+            else:
+                # Rule 3: default to the floodmax winner.
+                head_of[node] = floodmax_result[node]
+            heads.add(head_of[node])
+
+        # --- attach every node to the closest elected head within d hops -----
+        final_heads: Dict[Hashable, Hashable] = {}
+        lengths_from_heads = {
+            head: nx.single_source_shortest_path_length(graph, head, cutoff=d)
+            for head in heads if head in graph}
+        for node in nodes:
+            preferred = head_of[node]
+            if preferred in lengths_from_heads and node in lengths_from_heads[preferred]:
+                final_heads[node] = preferred
+                continue
+            best = None
+            best_dist = None
+            for head, lengths in lengths_from_heads.items():
+                if node in lengths:
+                    dist = lengths[node]
+                    if best_dist is None or (dist, key[head]) < (best_dist, key[best]):
+                        best, best_dist = head, dist
+            final_heads[node] = best if best is not None else node
+        return clusters_from_heads(graph, final_heads)

@@ -1,0 +1,29 @@
+"""The GRP protocol: the paper's primary contribution."""
+
+from .ancestor_list import AncestorList, WireList
+from .checks import compatible_list, good_list, group_span, merged_pair_bound
+from .identity import Mark, NodeId, priority_key
+from .messages import GRPMessage
+from .node import GRPConfig, GRPNode
+from .predicates import (ConfigurationReport, agreement, agreement_violations, continuity,
+                         continuity_violations, evaluate_configuration, groups_partition,
+                         legitimate, maximality, maximality_violations, omega, safety,
+                         safety_violations, topological)
+from .priority import PriorityTable
+from .protocol import GRPDeployment, build_grp_network
+from .quarantine import QuarantineTracker
+
+__all__ = [
+    "AncestorList", "WireList",
+    "compatible_list", "good_list", "group_span", "merged_pair_bound",
+    "Mark", "NodeId", "priority_key",
+    "GRPMessage",
+    "GRPConfig", "GRPNode",
+    "ConfigurationReport", "agreement", "agreement_violations", "continuity",
+    "continuity_violations", "evaluate_configuration", "groups_partition", "legitimate",
+    "maximality", "maximality_violations", "omega", "safety", "safety_violations",
+    "topological",
+    "PriorityTable",
+    "GRPDeployment", "build_grp_network",
+    "QuarantineTracker",
+]

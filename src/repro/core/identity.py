@@ -1,0 +1,51 @@
+"""Node identities and marks.
+
+The GRP protocol annotates neighbour identities with *marks* (rendered with
+overlines in the paper):
+
+* :attr:`Mark.NONE`   — a regular (propagatable) group member or candidate;
+* :attr:`Mark.SINGLE` — "I hear you, but I do not know yet whether you hear
+  me": added when a received list does not contain the receiver (the first leg
+  of the symmetric-link triple handshake, paper Section 4.1);
+* :attr:`Mark.DOUBLE` — "incompatible neighbour": the neighbour's list was
+  rejected by ``compatibleList`` or by the too-far-node arbitration, so the two
+  nodes cannot belong to the same group.
+
+Marked identities are only meaningful between direct neighbours: they are
+never inserted into views and are stripped from received lists (except the
+receiver's own identity, which carries the handshake information).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Hashable, Tuple
+
+__all__ = ["NodeId", "Mark", "priority_key"]
+
+#: Type alias for node identifiers.  Any hashable with a stable ``str()`` works;
+#: the experiment harness uses small integers.
+NodeId = Hashable
+
+
+class Mark(IntEnum):
+    """Mark level attached to an identity inside an ancestor list."""
+
+    NONE = 0
+    SINGLE = 1
+    DOUBLE = 2
+
+    @property
+    def propagatable(self) -> bool:
+        """Only unmarked identities may be propagated beyond one hop."""
+        return self is Mark.NONE
+
+
+def priority_key(oldness: int, node_id: NodeId) -> Tuple[int, str]:
+    """Total-order key for priorities.
+
+    The paper requires priorities to be totally ordered with "smaller wins".
+    Oldness (a logical clock frozen while the node is in a group) is the main
+    criterion; the node identifier breaks ties deterministically.
+    """
+    return (int(oldness), str(node_id))

@@ -1,0 +1,194 @@
+"""Formal predicates of the Dynamic Group Service specification.
+
+These functions evaluate, on configuration snapshots, the predicates defined
+in Section 3 of the paper:
+
+* ``Ω`` (group of a node) — :func:`omega`;
+* ΠA (agreement) — :func:`agreement`;
+* ΠS (safety) — :func:`safety`;
+* ΠM (maximality) — :func:`maximality`;
+* ΠT (topological, on consecutive configurations) — :func:`topological`;
+* ΠC (continuity, on consecutive configurations) — :func:`continuity`.
+
+A *configuration snapshot* consists of the views (mapping node → frozenset of
+members) and the symmetric-link topology graph at that instant.  The metric
+collectors (:mod:`repro.metrics`) call these functions at sampling times; the
+tests call them directly on hand-built configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Set, Tuple
+
+import networkx as nx
+
+from repro.net.topology import merged_diameter_ok, subgraph_diameter
+
+__all__ = [
+    "Views",
+    "Groups",
+    "omega",
+    "groups_partition",
+    "agreement",
+    "agreement_violations",
+    "safety",
+    "safety_violations",
+    "maximality",
+    "maximality_violations",
+    "topological",
+    "continuity",
+    "continuity_violations",
+    "legitimate",
+    "ConfigurationReport",
+    "evaluate_configuration",
+]
+
+NodeId = Hashable
+Views = Mapping[NodeId, FrozenSet[NodeId]]
+Groups = Dict[NodeId, FrozenSet[NodeId]]
+
+
+def omega(views: Views) -> Groups:
+    """The group Ω_v of every node.
+
+    Ω_v equals view_v when v belongs to its own view and every member shares
+    exactly the same view; otherwise Ω_v = {v} (paper Section 3).
+    """
+    groups: Groups = {}
+    for node, view in views.items():
+        if node in view and all(views.get(member) == view for member in view):
+            groups[node] = frozenset(view)
+        else:
+            groups[node] = frozenset({node})
+    return groups
+
+
+def groups_partition(views: Views) -> Set[FrozenSet[NodeId]]:
+    """The set of distinct groups {Ω_v : v}."""
+    return set(omega(views).values())
+
+
+def agreement_violations(views: Views) -> List[Tuple[NodeId, str]]:
+    """Nodes violating ΠA, with a human-readable reason."""
+    violations: List[Tuple[NodeId, str]] = []
+    for node, view in views.items():
+        if node not in view:
+            violations.append((node, "node absent from its own view"))
+            continue
+        for member in view:
+            other = views.get(member)
+            if other is None:
+                violations.append((node, f"view member {member!r} is not a node"))
+                break
+            if other != view:
+                violations.append((node, f"view member {member!r} disagrees"))
+                break
+    return violations
+
+
+def agreement(views: Views) -> bool:
+    """ΠA: the views define a partition on which all members agree."""
+    return not agreement_violations(views)
+
+
+def safety_violations(views: Views, graph: nx.Graph, dmax: int) -> List[Tuple[FrozenSet, float]]:
+    """Groups violating ΠS with their (possibly infinite) diameter."""
+    violations: List[Tuple[FrozenSet, float]] = []
+    for group in set(omega(views).values()):
+        diameter = subgraph_diameter(graph, group)
+        if diameter > dmax:
+            violations.append((group, diameter))
+    return violations
+
+
+def safety(views: Views, graph: nx.Graph, dmax: int) -> bool:
+    """ΠS: every group is connected with diameter ≤ Dmax inside the group subgraph."""
+    return not safety_violations(views, graph, dmax)
+
+
+def maximality_violations(views: Views, graph: nx.Graph,
+                          dmax: int) -> List[Tuple[FrozenSet, FrozenSet]]:
+    """Pairs of distinct groups that could merge without breaking ΠS."""
+    groups = sorted(set(omega(views).values()), key=lambda g: sorted(map(str, g)))
+    violations: List[Tuple[FrozenSet, FrozenSet]] = []
+    for index, group_a in enumerate(groups):
+        for group_b in groups[index + 1:]:
+            if merged_diameter_ok(graph, group_a, group_b, dmax):
+                violations.append((group_a, group_b))
+    return violations
+
+
+def maximality(views: Views, graph: nx.Graph, dmax: int) -> bool:
+    """ΠM: no two distinct groups could be merged while keeping the diameter ≤ Dmax."""
+    return not maximality_violations(views, graph, dmax)
+
+
+def legitimate(views: Views, graph: nx.Graph, dmax: int) -> bool:
+    """The stabilization target ΠA ∧ ΠS ∧ ΠM."""
+    return agreement(views) and safety(views, graph, dmax) and maximality(views, graph, dmax)
+
+
+def topological(previous_groups: Groups, new_graph: nx.Graph, dmax: int) -> bool:
+    """ΠT on a pair of consecutive configurations.
+
+    For every node, the members of its *previous* group must still be within
+    distance ``Dmax`` of each other in the *new* topology, counting only paths
+    inside the previous group.
+    """
+    for group in set(previous_groups.values()):
+        if len(group) <= 1:
+            continue
+        if subgraph_diameter(new_graph, group) > dmax:
+            return False
+    return True
+
+
+def continuity_violations(previous_groups: Groups,
+                          new_groups: Groups) -> List[Tuple[NodeId, FrozenSet, FrozenSet]]:
+    """Nodes whose group lost at least one member between two configurations."""
+    violations: List[Tuple[NodeId, FrozenSet, FrozenSet]] = []
+    for node, previous in previous_groups.items():
+        new = new_groups.get(node, frozenset({node}))
+        if not previous <= new:
+            violations.append((node, previous, new))
+    return violations
+
+
+def continuity(previous_groups: Groups, new_groups: Groups) -> bool:
+    """ΠC: no node disappears from any group between two configurations."""
+    return not continuity_violations(previous_groups, new_groups)
+
+
+@dataclass(frozen=True)
+class ConfigurationReport:
+    """Predicate values of one sampled configuration."""
+
+    time: float
+    agreement: bool
+    safety: bool
+    maximality: bool
+    group_count: int
+    largest_group: int
+    isolated_nodes: int
+
+    @property
+    def legitimate(self) -> bool:
+        """ΠA ∧ ΠS ∧ ΠM."""
+        return self.agreement and self.safety and self.maximality
+
+
+def evaluate_configuration(time: float, views: Views, graph: nx.Graph,
+                           dmax: int) -> ConfigurationReport:
+    """Evaluate every static predicate on one configuration snapshot."""
+    groups = set(omega(views).values())
+    sizes = [len(group) for group in groups]
+    return ConfigurationReport(
+        time=time,
+        agreement=agreement(views),
+        safety=safety(views, graph, dmax),
+        maximality=maximality(views, graph, dmax),
+        group_count=len(groups),
+        largest_group=max(sizes) if sizes else 0,
+        isolated_nodes=sum(1 for size in sizes if size == 1),
+    )

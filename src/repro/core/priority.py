@@ -1,0 +1,132 @@
+"""Node and group priorities.
+
+GRP uses priorities to arbitrate which node must be excluded when the diameter
+constraint would be violated, and which of two neighbouring groups absorbs the
+other during a merge (paper Section 4.1).
+
+The paper suggests implementing priorities as *oldness in the group*: each node
+carries a logical counter that grows while the node is alone and is frozen
+while the node belongs to a group of more than one member.  Therefore nodes
+that have been in a group the longest carry the *smallest* value and win every
+arbitration; freshly arrived nodes lose and leave, preserving the existing
+group — which is exactly the continuity behaviour the protocol is after.
+
+:class:`PriorityTable` tracks the local node's own counter plus the latest
+counters learned from neighbours' messages, and exposes the two comparisons
+used by ``compute()``:
+
+* node-versus-node (same group): compare the two oldness counters;
+* group-versus-group (merge arbitration): compare the minimum counter over
+  each group's known members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from .identity import NodeId, priority_key
+
+__all__ = ["PriorityTable"]
+
+PriorityKey = Tuple[int, str]
+
+
+class PriorityTable:
+    """Priority bookkeeping for one GRP node."""
+
+    def __init__(self, owner: NodeId, initial: int = 0):
+        self.owner = owner
+        self._own = int(initial)
+        self._known: Dict[NodeId, int] = {}
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def own_oldness(self) -> int:
+        """The local node's oldness counter."""
+        return self._own
+
+    def set_own(self, value: int) -> None:
+        """Overwrite the local counter (fault injection / initialisation)."""
+        self._own = int(value)
+
+    def oldness_of(self, node: NodeId) -> Optional[int]:
+        """Last known counter of ``node`` (``None`` when unknown)."""
+        if node == self.owner:
+            return self._own
+        return self._known.get(node)
+
+    def key_of(self, node: NodeId, default_oldness: Optional[int] = None) -> Optional[PriorityKey]:
+        """Total-order key of ``node``; ``None`` when unknown and no default is given."""
+        oldness = self.oldness_of(node)
+        if oldness is None:
+            if default_oldness is None:
+                return None
+            oldness = default_oldness
+        return priority_key(oldness, node)
+
+    def own_key(self) -> PriorityKey:
+        """Total-order key of the local node."""
+        return priority_key(self._own, self.owner)
+
+    # --------------------------------------------------------------- updates
+
+    def learn(self, priorities: Mapping[NodeId, int]) -> None:
+        """Merge counters carried by a received message (latest value wins)."""
+        for node, oldness in priorities.items():
+            if node == self.owner:
+                continue
+            self._known[node] = int(oldness)
+
+    def forget_except(self, keep: Iterable[NodeId]) -> None:
+        """Drop counters of identities no longer relevant (keeps memory bounded)."""
+        keep = set(keep)
+        self._known = {node: value for node, value in self._known.items() if node in keep}
+
+    def tick(self, in_group: bool) -> None:
+        """Pseudo-code line 32: the counter grows only while the node is alone."""
+        if not in_group:
+            self._own += 1
+
+    # ----------------------------------------------------------- comparisons
+
+    def node_has_priority_over_self(self, node: NodeId,
+                                    default_oldness: Optional[int] = None) -> bool:
+        """Whether ``node`` wins a node-versus-node arbitration against the owner.
+
+        Unknown nodes lose by default (they are newcomers the local node has no
+        information about), unless ``default_oldness`` provides their counter.
+        """
+        other = self.key_of(node, default_oldness)
+        if other is None:
+            return False
+        return other < self.own_key()
+
+    def group_priority(self, members: Iterable[NodeId],
+                       extra: Optional[Mapping[NodeId, int]] = None) -> PriorityKey:
+        """Group priority = smallest member key (paper: min of members' priorities)."""
+        best: Optional[PriorityKey] = None
+        for member in members:
+            oldness = None
+            if extra is not None and member in extra:
+                oldness = extra[member]
+            if oldness is None:
+                oldness = self.oldness_of(member)
+            if oldness is None:
+                continue
+            key = priority_key(oldness, member)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            best = self.own_key()
+        return best
+
+    def snapshot(self, nodes: Iterable[NodeId]) -> Dict[NodeId, int]:
+        """Counters for the given identities (used to build outgoing messages)."""
+        out: Dict[NodeId, int] = {}
+        for node in nodes:
+            oldness = self.oldness_of(node)
+            if oldness is not None:
+                out[node] = oldness
+        out[self.owner] = self._own
+        return out

@@ -1,0 +1,13 @@
+"""Experiment harness: scenarios, runner and the E1..E10 reproduction suite."""
+
+from .runner import ExperimentResult, attach_baseline, run_with_sampler, sweep
+from .scenarios import (line_topology, manet_waypoint, ring_of_clusters, rpgm_scenario,
+                        static_random, two_cluster_topology, vanet_highway)
+from .suite import ALL_EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentResult", "attach_baseline", "run_with_sampler", "sweep",
+    "line_topology", "manet_waypoint", "ring_of_clusters", "rpgm_scenario",
+    "static_random", "two_cluster_topology", "vanet_highway",
+    "ALL_EXPERIMENTS", "run_experiment",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point of the experiment harness.
+
+Examples
+--------
+Run one experiment (quick parameters)::
+
+    python -m repro.experiments.cli E3
+
+Run the full suite with paper-scale parameters and write a report::
+
+    python -m repro.experiments.cli all --full --output results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .runner import ExperimentResult
+from .suite import ALL_EXPERIMENTS, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (separated for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="grp-experiments",
+        description="Reproduction experiments for 'Best-effort Group Service in Dynamic "
+                    "Networks' (SPAA 2010).")
+    parser.add_argument("experiment", nargs="?", default="all",
+                        help="Experiment identifier (E1..E10) or 'all'.")
+    parser.add_argument("--full", action="store_true",
+                        help="Use the full (slower) workload sizes instead of the quick ones.")
+    parser.add_argument("--seed", type=int, default=None, help="Override the experiment seed.")
+    parser.add_argument("--output", type=str, default=None,
+                        help="Also write the report to this file.")
+    parser.add_argument("--list", action="store_true", help="List available experiments.")
+    return parser
+
+
+def _run(experiment_ids: List[str], quick: bool, seed: Optional[int]) -> List[ExperimentResult]:
+    results = []
+    for experiment_id in experiment_ids:
+        start = time.time()
+        result = run_experiment(experiment_id, quick=quick, seed=seed)
+        result.add_note(f"wall time: {time.time() - start:.1f}s")
+        results.append(result)
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for key, func in sorted(ALL_EXPERIMENTS.items(), key=lambda kv: int(kv[0][1:])):
+            print(f"{key}: {func.__doc__.splitlines()[0] if func.__doc__ else ''}")
+        return 0
+    if args.experiment.lower() == "all":
+        experiment_ids = sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    else:
+        experiment_ids = [args.experiment]
+    try:
+        results = _run(experiment_ids, quick=not args.full, seed=args.seed)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    blocks = [result.to_text() for result in results]
+    report = "\n\n".join(blocks)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Scenario builders used by the experiment suite, the examples and the tests.
+
+Every builder returns a ready-to-start :class:`~repro.core.protocol.GRPDeployment`
+(plus scenario-specific metadata when useful).  All scenarios are fully seeded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.node import GRPConfig
+from repro.core.protocol import GRPDeployment, build_grp_network
+from repro.mobility.highway import HighwayMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.rpgm import ReferencePointGroupMobility
+from repro.net.geometry import line_positions, random_positions
+from repro.sim.randomness import SeedSequenceFactory
+
+__all__ = [
+    "static_random",
+    "line_topology",
+    "two_cluster_topology",
+    "ring_of_clusters",
+    "manet_waypoint",
+    "vanet_highway",
+    "rpgm_scenario",
+]
+
+
+def static_random(n: int, area: float, radio_range: float, dmax: int, seed: int = 0,
+                  loss_probability: float = 0.0,
+                  config: Optional[GRPConfig] = None) -> GRPDeployment:
+    """``n`` nodes placed uniformly at random in an ``area x area`` square, no mobility."""
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    seeds = SeedSequenceFactory(seed)
+    positions = random_positions(range(n), area=(area, area), rng=seeds.stream("placement"))
+    return build_grp_network(positions, cfg, radio_range=radio_range,
+                             loss_probability=loss_probability, seed=seed)
+
+
+def line_topology(n: int, spacing: float, radio_range: float, dmax: int,
+                  seed: int = 0, config: Optional[GRPConfig] = None) -> GRPDeployment:
+    """``n`` nodes on a line with constant spacing (chain topology)."""
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    positions = line_positions(range(n), spacing=spacing)
+    return build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
+
+
+def two_cluster_topology(cluster_size: int, gap: float, spacing: float, radio_range: float,
+                         dmax: int, seed: int = 0,
+                         config: Optional[GRPConfig] = None) -> Tuple[GRPDeployment, List, List]:
+    """Two tight clusters separated by ``gap`` along the x axis.
+
+    Returns the deployment plus the two member lists.  Used by the merging
+    experiment E9: the clusters are first out of range, then brought together
+    by teleporting the right cluster (``deployment.network.set_positions``).
+    """
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    positions: Dict[Hashable, Tuple[float, float]] = {}
+    left = list(range(cluster_size))
+    right = list(range(cluster_size, 2 * cluster_size))
+    for index, node in enumerate(left):
+        positions[node] = (index * spacing, 0.0)
+    offset = (cluster_size - 1) * spacing + gap
+    for index, node in enumerate(right):
+        positions[node] = (offset + index * spacing, 0.0)
+    deployment = build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
+    return deployment, left, right
+
+
+def ring_of_clusters(cluster_count: int, cluster_size: int, ring_radius: float,
+                     cluster_radius: float, radio_range: float, dmax: int, seed: int = 0,
+                     config: Optional[GRPConfig] = None) -> Tuple[GRPDeployment, List[List]]:
+    """Clusters arranged on a circle — the "loop of groups willing to merge" scenario.
+
+    Neighbouring clusters on the ring are within radio range of each other, so
+    every cluster could merge with either neighbour; the group-priority rule is
+    what prevents a livelock of concurrent merge attempts (experiment E9b).
+    """
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    seeds = SeedSequenceFactory(seed)
+    rng = seeds.stream("placement")
+    positions: Dict[Hashable, Tuple[float, float]] = {}
+    clusters: List[List] = []
+    node_id = 0
+    for index in range(cluster_count):
+        angle = 2 * math.pi * index / cluster_count
+        cx = ring_radius * math.cos(angle) + ring_radius
+        cy = ring_radius * math.sin(angle) + ring_radius
+        members = []
+        for _ in range(cluster_size):
+            dx, dy = rng.uniform(-cluster_radius, cluster_radius, size=2)
+            positions[node_id] = (cx + float(dx), cy + float(dy))
+            members.append(node_id)
+            node_id += 1
+        clusters.append(members)
+    deployment = build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
+    return deployment, clusters
+
+
+def manet_waypoint(n: int, area: float, radio_range: float, dmax: int, speed: float,
+                   seed: int = 0, pause_time: float = 0.0, loss_probability: float = 0.0,
+                   config: Optional[GRPConfig] = None) -> GRPDeployment:
+    """Random-waypoint MANET: ``n`` nodes moving at ``speed`` in an ``area`` square."""
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = RandomWaypointMobility((area, area), min_speed=speed * 0.5, max_speed=speed,
+                                      pause_time=pause_time, rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n))
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed)
+
+
+def vanet_highway(n: int, road_length: float, radio_range: float, dmax: int,
+                  lane_count: int = 2, base_speed: float = 25.0, spacing: float = 40.0,
+                  seed: int = 0, loss_probability: float = 0.0,
+                  config: Optional[GRPConfig] = None) -> GRPDeployment:
+    """VANET highway: vehicles on a ring road with per-lane speeds."""
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = HighwayMobility(road_length=road_length, lane_count=lane_count,
+                               base_speed=base_speed, rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n), spacing=spacing)
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed)
+
+
+def rpgm_scenario(group_sizes: Sequence[int], area: float, radio_range: float, dmax: int,
+                  group_speed: float = 4.0, member_radius: float = 30.0, seed: int = 0,
+                  config: Optional[GRPConfig] = None) -> GRPDeployment:
+    """Reference-point group mobility: convoys of nodes moving together."""
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    seeds = SeedSequenceFactory(seed)
+    groups: List[List[int]] = []
+    node_id = 0
+    for size in group_sizes:
+        groups.append(list(range(node_id, node_id + size)))
+        node_id += size
+    mobility = ReferencePointGroupMobility((area, area), groups, group_speed=group_speed,
+                                           member_radius=member_radius,
+                                           rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions([n for group in groups for n in group])
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             seed=seed)

@@ -1,0 +1,431 @@
+"""The reproduction experiment suite (E1 … E10).
+
+The paper contains no numeric tables or figures — its evaluation consists of
+proved propositions plus a simulation study delegated to the (unavailable)
+Airplug implementation.  Each experiment below therefore corresponds either to
+a proposition (correctness claims, E1–E3, E6, E7, E9, E10) or to a claim of the
+introduction / related-work discussion (performance claims, E4, E5, E8).  The
+mapping and the expected shapes are listed in DESIGN.md; the measured outputs
+are recorded in EXPERIMENTS.md.
+
+Every experiment function accepts ``quick`` (smaller workloads, used by the
+default benchmark run and the tests) and a ``seed``, and returns an
+:class:`~repro.experiments.runner.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.kclustering import KHopClustering
+from repro.baselines.lowest_id import LowestIdClustering
+from repro.baselines.maxmin import MaxMinDCluster
+from repro.core.node import GRPConfig
+from repro.core.predicates import agreement, legitimate, maximality, omega, safety
+from repro.core.protocol import GRPDeployment
+from repro.metrics.continuity import continuity_summary
+from repro.metrics.convergence import legitimate_fraction, stabilization_time
+from repro.metrics.groups import (average_membership_churn, max_group_diameter,
+                                  mean_group_lifetime, partition_quality)
+from repro.metrics.overhead import overhead_summary
+from repro.net.faults import FaultInjector
+
+from .runner import ExperimentResult, attach_baseline, run_with_sampler
+from .scenarios import (line_topology, manet_waypoint, ring_of_clusters, static_random,
+                        two_cluster_topology, vanet_highway)
+
+__all__ = [
+    "e1_stabilization",
+    "e2_safety",
+    "e3_continuity",
+    "e4_vanet_churn",
+    "e5_partition_quality",
+    "e6_fault_recovery",
+    "e7_quarantine_ablation",
+    "e8_overhead",
+    "e9_merging",
+    "e10_compatibility",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+]
+
+
+def _advance_until(deployment: GRPDeployment, condition: Callable[[], bool],
+                   max_time: float, step: float = 1.0) -> Optional[float]:
+    """Advance the simulation until ``condition`` holds; return elapsed time or None."""
+    start = deployment.sim.now
+    deployment.start()
+    while deployment.sim.now - start < max_time:
+        if condition():
+            return deployment.sim.now - start
+        deployment.sim.run(until=deployment.sim.now + step)
+    return deployment.sim.now - start if condition() else None
+
+
+# --------------------------------------------------------------------------- E1
+
+def e1_stabilization(quick: bool = True, seed: int = 1) -> ExperimentResult:
+    """E1 — Propositions 7/8/12: self-stabilization time on fixed topologies."""
+    result = ExperimentResult(
+        "E1", "Stabilization of ΠA ∧ ΠS ∧ ΠM on static random geometric graphs")
+    sizes = [8, 14] if quick else [10, 20, 30, 40]
+    dmaxes = [2, 3] if quick else [2, 3, 4]
+    duration = 80.0 if quick else 150.0
+    repeats = 2 if quick else 3
+    for n in sizes:
+        for dmax in dmaxes:
+            for rep in range(repeats):
+                run_seed = seed + 97 * rep
+                deployment = static_random(n=n, area=60.0 * (n ** 0.5), radio_range=95.0,
+                                           dmax=dmax, seed=run_seed)
+                sampler = run_with_sampler(deployment, duration=duration, sample_interval=1.0,
+                                           keep_graphs=False)
+                stab = stabilization_time(sampler.samples)
+                final = sampler.last
+                result.add_row(
+                    n=n, dmax=dmax, seed=run_seed,
+                    stabilization_time=stab,
+                    legitimate_at_end=final.report.legitimate if final else False,
+                    groups=final.report.group_count if final else None,
+                )
+    result.add_note("Expected shape: stabilization reached in the vast majority of runs and "
+                    "time grows with n and Dmax (news must travel O(Dmax) timer periods). "
+                    "Dense graphs with a tight Dmax occasionally settle in a legal-but-not-"
+                    "maximal or disagreeing configuration (see DESIGN.md, known limitations).")
+    return result
+
+
+# --------------------------------------------------------------------------- E2
+
+def e2_safety(quick: bool = True, seed: int = 2) -> ExperimentResult:
+    """E2 — Proposition 8: group diameters never exceed Dmax after convergence."""
+    result = ExperimentResult("E2", "Safety: maximum observed group diameter vs Dmax")
+    dmaxes = [2, 3] if quick else [1, 2, 3, 4]
+    duration = 60.0 if quick else 120.0
+    n = 14 if quick else 30
+    for dmax in dmaxes:
+        static = static_random(n=n, area=260.0, radio_range=100.0, dmax=dmax, seed=seed)
+        static_sampler = run_with_sampler(static, duration=duration, warmup=40.0)
+        mobile = manet_waypoint(n=n, area=260.0, radio_range=100.0, dmax=dmax,
+                                speed=2.0, seed=seed)
+        mobile_sampler = run_with_sampler(mobile, duration=duration, warmup=40.0)
+        result.add_row(dmax=dmax, scenario="static",
+                       max_group_diameter=max_group_diameter(static_sampler.samples),
+                       safety_violations=sum(1 for s in static_sampler.samples
+                                             if not s.report.safety))
+        result.add_row(dmax=dmax, scenario="waypoint v=2",
+                       max_group_diameter=max_group_diameter(mobile_sampler.samples),
+                       safety_violations=sum(1 for s in mobile_sampler.samples
+                                             if not s.report.safety))
+    result.add_note("Expected shape: max observed diameter <= Dmax and zero safety "
+                    "violations in the steady state of every run.")
+    return result
+
+
+# --------------------------------------------------------------------------- E3
+
+def e3_continuity(quick: bool = True, seed: int = 3) -> ExperimentResult:
+    """E3 — Proposition 14: ΠT ⇒ ΠC (best-effort continuity) under mobility."""
+    result = ExperimentResult(
+        "E3", "Continuity: member losses conditioned on the topological predicate ΠT")
+    n = 12 if quick else 24
+    duration = 80.0 if quick else 200.0
+    speeds = [1.0, 8.0, 25.0] if quick else [0.5, 2.0, 8.0, 25.0, 50.0]
+    for speed in speeds:
+        deployment = manet_waypoint(n=n, area=300.0, radio_range=120.0, dmax=3,
+                                    speed=speed, seed=seed)
+        sampler = run_with_sampler(deployment, duration=duration, warmup=40.0)
+        summary = continuity_summary(sampler.transitions)
+        result.add_row(
+            speed=speed,
+            transitions=summary.transitions,
+            topological_held=summary.topological_held,
+            continuity_violations_total=summary.violations_total,
+            violations_under_topological=summary.violations_under_topological,
+            best_effort_respected=summary.best_effort_respected,
+        )
+    result.add_note("Expected shape: continuity violations happen only on transitions where "
+                    "ΠT is broken (fast mobility); violations_under_topological stays ~0. "
+                    "At high speeds ΠT is evaluated on 1-second samples, so a violation "
+                    "attributed to a ΠT-preserving transition may hide a mid-interval break.")
+    return result
+
+
+# --------------------------------------------------------------------------- E4
+
+def e4_vanet_churn(quick: bool = True, seed: int = 4) -> ExperimentResult:
+    """E4 — intro claim: GRP keeps groups alive longer than re-clustering baselines."""
+    result = ExperimentResult(
+        "E4", "VANET highway: membership churn and group lifetime, GRP vs baselines")
+    n = 14 if quick else 30
+    duration = 80.0 if quick else 200.0
+    deployment = vanet_highway(n=n, road_length=1500.0, radio_range=180.0, dmax=3,
+                               base_speed=22.0, lane_count=1, seed=seed)
+    drivers = {
+        "max-min": attach_baseline(deployment, MaxMinDCluster()),
+        "lowest-id": attach_baseline(deployment, LowestIdClustering()),
+        "k-hop": attach_baseline(deployment, KHopClustering()),
+    }
+    sampler = run_with_sampler(deployment, duration=duration, warmup=40.0)
+    baseline_samplers = {}
+    # Baselines are measured post-hoc on the same sampled instants by replaying
+    # their periodic partitions through dedicated samplers on a second pass of
+    # the identical scenario (same seed → same trajectory).
+    for name, algorithm in (("max-min", MaxMinDCluster()), ("lowest-id", LowestIdClustering()),
+                            ("k-hop", KHopClustering())):
+        replay = vanet_highway(n=n, road_length=1500.0, radio_range=180.0, dmax=3,
+                               base_speed=22.0, lane_count=1, seed=seed)
+        driver = attach_baseline(replay, algorithm)
+        baseline_samplers[name] = run_with_sampler(replay, duration=duration, warmup=40.0,
+                                                   views_provider=driver.views)
+    del drivers
+    rows = [("GRP", sampler)] + list(baseline_samplers.items())
+    for name, smp in rows:
+        result.add_row(
+            algorithm=name,
+            membership_churn_per_step=round(average_membership_churn(smp.samples), 3),
+            mean_group_lifetime=round(mean_group_lifetime(smp.samples), 2),
+            mean_groups=round(sum(s.report.group_count for s in smp.samples)
+                              / max(len(smp.samples), 1), 2),
+        )
+    result.add_note("Expected shape: GRP has the lowest membership churn and the longest "
+                    "group lifetimes; baselines may produce fewer groups but reshuffle them.")
+    return result
+
+
+# --------------------------------------------------------------------------- E5
+
+def e5_partition_quality(quick: bool = True, seed: int = 5) -> ExperimentResult:
+    """E5 — related-work claim: GRP trades partition optimality for stability."""
+    result = ExperimentResult(
+        "E5", "Partition quality on static graphs: GRP vs clusterhead baselines")
+    n = 16 if quick else 35
+    duration = 90.0 if quick else 150.0
+    deployment = static_random(n=n, area=330.0, radio_range=130.0, dmax=3, seed=seed)
+    sampler = run_with_sampler(deployment, duration=duration)
+    final = sampler.last
+    grp_quality = partition_quality(final)
+    graph = final.graph
+    result.add_row(algorithm="GRP", groups=grp_quality.group_count,
+                   isolated=grp_quality.isolated_nodes,
+                   mean_size=round(grp_quality.mean_group_size, 2),
+                   max_diameter=grp_quality.max_diameter,
+                   legitimate=final.report.legitimate)
+    for algorithm in (MaxMinDCluster(), LowestIdClustering(), KHopClustering()):
+        views = algorithm.partition(graph, 3)
+        groups = set(omega(views).values())
+        sizes = [len(g) for g in groups]
+        from repro.net.topology import subgraph_diameter
+        diameters = [subgraph_diameter(graph, g) for g in groups if len(g) > 1]
+        result.add_row(algorithm=algorithm.name, groups=len(groups),
+                       isolated=sum(1 for s in sizes if s == 1),
+                       mean_size=round(sum(sizes) / len(sizes), 2) if sizes else 0,
+                       max_diameter=max(diameters) if diameters else 0,
+                       legitimate=(agreement(views) and safety(views, graph, 3)))
+    result.add_note("Expected shape: baselines reach similar or fewer groups (they optimise "
+                    "the partition); GRP stays legal (diameter <= Dmax, agreement) while "
+                    "prioritising stability over minimality.")
+    return result
+
+
+# --------------------------------------------------------------------------- E6
+
+def e6_fault_recovery(quick: bool = True, seed: int = 6) -> ExperimentResult:
+    """E6 — Propositions 1/2: ghost identities and oversized lists vanish in finite time."""
+    result = ExperimentResult(
+        "E6", "Self-stabilization after transient memory corruption")
+    n = 12 if quick else 24
+    deployment = static_random(n=n, area=240.0, radio_range=110.0, dmax=3, seed=seed)
+    run_with_sampler(deployment, duration=60.0)  # reach a legitimate configuration first
+    injector = FaultInjector(deployment.network, rng=deployment.sim.spawn_rng())
+    ghosts = [f"ghost-{i}" for i in range(3)]
+    corrupted = injector.random_memory_corruption(fraction=0.4, ghost_pool=ghosts)
+    injector.oversized_list(corrupted[0], extra_ids=[f"ghost-deep-{i}" for i in range(3)])
+
+    def ghosts_gone() -> bool:
+        return all(not node.alist.contains(g)
+                   for node in deployment.nodes.values()
+                   for g in ghosts + [f"ghost-deep-{i}" for i in range(3)])
+
+    cleanup = _advance_until(deployment, ghosts_gone, max_time=60.0)
+    sampler = run_with_sampler(deployment, duration=60.0)
+    restab = stabilization_time(sampler.samples)
+    result.add_row(corrupted_nodes=len(corrupted), ghost_identities=len(ghosts) + 3,
+                   ghost_cleanup_time=cleanup,
+                   re_stabilization_time=restab,
+                   legitimate_at_end=sampler.last.report.legitimate)
+    result.add_note("Expected shape: ghosts disappear within O(Dmax) computation periods and "
+                    "the system returns to a legitimate configuration.")
+    return result
+
+
+# --------------------------------------------------------------------------- E7
+
+def e7_quarantine_ablation(quick: bool = True, seed: int = 7) -> ExperimentResult:
+    """E7 — ablation: the quarantine is what makes ΠT ⇒ ΠC hold."""
+    result = ExperimentResult(
+        "E7", "Quarantine ablation: view retractions with and without quarantine")
+    n = 14 if quick else 26
+    duration = 70.0 if quick else 150.0
+    for label, quarantine in (("with quarantine", True), ("without quarantine", False)):
+        config = GRPConfig(dmax=3, quarantine_enabled=quarantine)
+        deployment = static_random(n=n, area=300.0, radio_range=120.0, dmax=3,
+                                   seed=seed, config=config)
+        sampler = run_with_sampler(deployment, duration=duration, sample_interval=1.0)
+        summary = continuity_summary(sampler.transitions)
+        result.add_row(
+            variant=label,
+            transitions=summary.transitions,
+            violations_under_topological=summary.violations_under_topological,
+            members_lost_total=summary.members_lost_total,
+            legitimate_fraction=round(legitimate_fraction(sampler.samples, start_time=40.0), 3),
+        )
+    result.add_note("Static topology, measured from the cold start: every transition "
+                    "preserves ΠT, so any member loss is a best-effort violation caused by "
+                    "admitting a node before the whole group vetted it. Expected shape: with "
+                    "the quarantine the count stays ~0; without it, retractions appear.")
+    return result
+
+
+# --------------------------------------------------------------------------- E8
+
+def e8_overhead(quick: bool = True, seed: int = 8) -> ExperimentResult:
+    """E8 — scalability: message and computation overhead vs n and Dmax."""
+    result = ExperimentResult("E8", "Protocol overhead: messages, payloads, computations")
+    sizes = [8, 16] if quick else [10, 20, 40, 60]
+    dmaxes = [2, 4] if quick else [2, 3, 4, 5]
+    duration = 40.0 if quick else 80.0
+    for n in sizes:
+        for dmax in dmaxes:
+            deployment = static_random(n=n, area=60.0 * (n ** 0.5), radio_range=100.0,
+                                       dmax=dmax, seed=seed)
+            deployment.run(duration)
+            summary = overhead_summary(deployment, duration)
+            row = {"n": n, "dmax": dmax}
+            row.update(summary.as_row())
+            result.add_row(**row)
+    result.add_note("Expected shape: messages per node per second are constant (timer driven); "
+                    "payload grows with the group size (bounded by the Dmax-neighbourhood).")
+    return result
+
+
+# --------------------------------------------------------------------------- E9
+
+def e9_merging(quick: bool = True, seed: int = 9) -> ExperimentResult:
+    """E9 — Propositions 11/12: neighbouring groups merge; group priorities break loops."""
+    result = ExperimentResult("E9", "Group merging and the group-priority rule")
+    # Part 1 — two stabilized clusters brought into range must merge in O(Dmax).
+    for dmax in ([2, 3] if quick else [2, 3, 4]):
+        deployment, left, right = two_cluster_topology(cluster_size=3, gap=400.0, spacing=30.0,
+                                                       radio_range=90.0, dmax=dmax, seed=seed)
+        run_with_sampler(deployment, duration=50.0)
+        # Teleport the right cluster next to the left one (still respecting Dmax).
+        shift = 400.0 - 60.0
+        new_positions = {node: (pos[0] - shift, pos[1])
+                         for node, pos in deployment.network.positions.items()
+                         if node in right}
+        deployment.network.set_positions(new_positions)
+
+        def merged() -> bool:
+            views = deployment.views()
+            graph = deployment.topology()
+            return legitimate(views, graph, dmax) and len(set(omega(views).values())) == 1
+
+        merge_time = _advance_until(deployment, merged, max_time=80.0)
+        result.add_row(scenario="two clusters", dmax=dmax, merge_time=merge_time,
+                       merged=merge_time is not None)
+    # Part 2 — ring of groups willing to merge: group priorities prevent livelock.
+    for label, use_group_prio in (("group priorities", True), ("node priorities only", False)):
+        config = GRPConfig(dmax=3, use_group_priorities=use_group_prio)
+        deployment, clusters = ring_of_clusters(cluster_count=4, cluster_size=3,
+                                                ring_radius=110.0, cluster_radius=18.0,
+                                                radio_range=120.0, dmax=3, seed=seed,
+                                                config=config)
+        sampler = run_with_sampler(deployment, duration=90.0 if quick else 160.0)
+        final = sampler.last
+        result.add_row(scenario=f"ring of 4 clusters ({label})", dmax=3,
+                       final_groups=final.report.group_count,
+                       legitimate=final.report.legitimate,
+                       legitimate_fraction=round(legitimate_fraction(sampler.samples,
+                                                                     start_time=40.0), 3))
+    result.add_note("Expected shape: for Dmax >= 3 the clusters merge within a few timer "
+                    "periods of coming into range; the Dmax = 2 row is a negative control "
+                    "(the merged chain would have diameter 3, so the merge must NOT happen "
+                    "and the partition stays maximal as-is). The ring scenario stabilizes to "
+                    "a legitimate partition under both priority rules.")
+    return result
+
+
+# -------------------------------------------------------------------------- E10
+
+def e10_compatibility(quick: bool = True, seed: int = 10) -> ExperimentResult:
+    """E10 — Proposition 13: the optimized compatibility test merges more, never unsafely."""
+    result = ExperimentResult(
+        "E10", "compatibleList: optimized (pairwise bounds) vs naive length test")
+    duration = 130.0 if quick else 200.0
+    # A chain whose two halves can only merge thanks to shortcut knowledge.
+    chain_n = 6
+    for label, optimized in (("optimized", True), ("naive", False)):
+        config = GRPConfig(dmax=3, optimized_compatibility=optimized)
+        deployment = line_topology(n=chain_n, spacing=45.0, radio_range=50.0, dmax=3,
+                                   seed=seed, config=config)
+        sampler = run_with_sampler(deployment, duration=duration)
+        final = sampler.last
+        sizes = sorted(len(g) for g in set(final.groups.values()))
+        result.add_row(topology=f"chain of {chain_n}", variant=label,
+                       groups=final.report.group_count, largest_group=final.report.largest_group,
+                       group_sizes=str(sizes),
+                       max_diameter=max_group_diameter(sampler.samples),
+                       legitimate=final.report.legitimate)
+    # Random graphs: count how often each variant reaches a single legitimate group.
+    merged_counts = {"optimized": 0, "naive": 0}
+    trials = 4 if quick else 10
+    for trial in range(trials):
+        for label, optimized in (("optimized", True), ("naive", False)):
+            config = GRPConfig(dmax=3, optimized_compatibility=optimized)
+            deployment = static_random(n=12, area=240.0, radio_range=110.0, dmax=3,
+                                       seed=seed + trial, config=config)
+            sampler = run_with_sampler(deployment, duration=duration)
+            final = sampler.last
+            if final.report.legitimate:
+                merged_counts[label] += final.report.group_count == 1
+    result.add_row(topology=f"{trials} random graphs", variant="optimized",
+                   groups=None, largest_group=None,
+                   group_sizes=f"single-group runs: {merged_counts['optimized']}",
+                   max_diameter=None, legitimate=None)
+    result.add_row(topology=f"{trials} random graphs", variant="naive",
+                   groups=None, largest_group=None,
+                   group_sizes=f"single-group runs: {merged_counts['naive']}",
+                   max_diameter=None, legitimate=None)
+    result.add_note("Expected shape: the optimized test reaches larger groups (fewer groups, "
+                    "more single-group runs) and never exceeds Dmax; the naive test is safe "
+                    "but overly conservative.")
+    return result
+
+
+# ------------------------------------------------------------------ registry
+
+ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E1": e1_stabilization,
+    "E2": e2_safety,
+    "E3": e3_continuity,
+    "E4": e4_vanet_churn,
+    "E5": e5_partition_quality,
+    "E6": e6_fault_recovery,
+    "E7": e7_quarantine_ablation,
+    "E8": e8_overhead,
+    "E9": e9_merging,
+    "E10": e10_compatibility,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = True,
+                   seed: Optional[int] = None) -> ExperimentResult:
+    """Run one experiment by identifier (``"E1"`` … ``"E10"``)."""
+    key = experiment_id.upper()
+    if key not in ALL_EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; valid: {sorted(ALL_EXPERIMENTS)}")
+    func = ALL_EXPERIMENTS[key]
+    if seed is None:
+        return func(quick=quick)
+    return func(quick=quick, seed=seed)

@@ -1,0 +1,21 @@
+"""Measurement substrate: samplers, convergence, continuity, group and overhead metrics."""
+
+from .collectors import ConfigurationSample, ConfigurationSampler, TransitionRecord
+from .continuity import ContinuitySummary, continuity_summary
+from .convergence import (first_legitimate_time, legitimate_fraction, stabilization_time,
+                          time_until)
+from .groups import (PartitionQuality, average_membership_churn, group_lifetimes,
+                     max_group_diameter, mean_group_lifetime, membership_churn,
+                     partition_quality)
+from .overhead import OverheadSummary, overhead_summary
+from .report import format_table, format_value, print_table
+
+__all__ = [
+    "ConfigurationSample", "ConfigurationSampler", "TransitionRecord",
+    "ContinuitySummary", "continuity_summary",
+    "first_legitimate_time", "legitimate_fraction", "stabilization_time", "time_until",
+    "PartitionQuality", "average_membership_churn", "group_lifetimes", "max_group_diameter",
+    "mean_group_lifetime", "membership_churn", "partition_quality",
+    "OverheadSummary", "overhead_summary",
+    "format_table", "format_value", "print_table",
+]

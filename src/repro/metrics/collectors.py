@@ -1,0 +1,148 @@
+"""Configuration sampling.
+
+The predicates of the Dynamic Group Service are defined on configurations and
+on pairs of consecutive configurations.  :class:`ConfigurationSampler` snapshots
+the views and the topology at a fixed interval and evaluates:
+
+* the static predicates ΠA, ΠS, ΠM on each sample;
+* the transition predicates ΠT, ΠC between consecutive samples.
+
+The sampler works with any *views provider* (a callable returning the current
+views), so GRP deployments and baseline clustering drivers are measured with
+exactly the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional
+
+import networkx as nx
+
+from repro.core.predicates import (ConfigurationReport, Groups, continuity,
+                                   continuity_violations, evaluate_configuration, omega,
+                                   topological)
+from repro.sim.engine import Simulator
+
+__all__ = ["ConfigurationSample", "TransitionRecord", "ConfigurationSampler"]
+
+Views = Dict[Hashable, FrozenSet[Hashable]]
+
+
+@dataclass(frozen=True)
+class ConfigurationSample:
+    """One sampled configuration."""
+
+    time: float
+    views: Views
+    groups: Groups
+    graph: nx.Graph
+    report: ConfigurationReport
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """Predicates evaluated on a pair of consecutive samples."""
+
+    time: float
+    topological_ok: bool
+    continuity_ok: bool
+    lost_members: int
+
+    @property
+    def best_effort_violation(self) -> bool:
+        """ΠT held but ΠC did not — the violation the best-effort property forbids."""
+        return self.topological_ok and not self.continuity_ok
+
+
+class ConfigurationSampler:
+    """Periodically snapshots a running deployment and evaluates the predicates.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving the run.
+    views_provider:
+        Callable returning the current views (node -> frozenset of members).
+    graph_provider:
+        Callable returning the current symmetric-link topology graph.
+    dmax:
+        Diameter bound used by ΠS / ΠM / ΠT.
+    interval:
+        Sampling period (simulated seconds).
+    keep_graphs:
+        Store the sampled graphs inside the samples (needed by a few analyses;
+        disable to save memory on long sweeps).
+    """
+
+    def __init__(self, sim: Simulator, views_provider: Callable[[], Views],
+                 graph_provider: Callable[[], nx.Graph], dmax: int,
+                 interval: float = 1.0, keep_graphs: bool = True):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.views_provider = views_provider
+        self.graph_provider = graph_provider
+        self.dmax = int(dmax)
+        self.interval = float(interval)
+        self.keep_graphs = keep_graphs
+        self.samples: List[ConfigurationSample] = []
+        self.transitions: List[TransitionRecord] = []
+        self._handle = None
+        self._previous: Optional[ConfigurationSample] = None
+
+    # ------------------------------------------------------------------ wiring
+
+    def start(self) -> None:
+        """Take one immediate sample and schedule periodic sampling."""
+        self.sample_now()
+        self._handle = self.sim.call_every(self.interval, self.sample_now)
+
+    def stop(self) -> None:
+        """Stop the periodic sampling."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ---------------------------------------------------------------- sampling
+
+    def sample_now(self) -> ConfigurationSample:
+        """Take a sample immediately (also called by the periodic schedule)."""
+        views = dict(self.views_provider())
+        graph = self.graph_provider()
+        groups = omega(views)
+        report = evaluate_configuration(self.sim.now, views, graph, self.dmax)
+        sample = ConfigurationSample(
+            time=self.sim.now,
+            views=views,
+            groups=groups,
+            graph=graph if self.keep_graphs else nx.Graph(),
+            report=report,
+        )
+        if self._previous is not None:
+            lost = continuity_violations(self._previous.groups, groups)
+            lost_members = sum(len(prev - new) for _, prev, new in lost)
+            self.transitions.append(TransitionRecord(
+                time=self.sim.now,
+                topological_ok=topological(self._previous.groups, graph, self.dmax),
+                continuity_ok=continuity(self._previous.groups, groups),
+                lost_members=lost_members,
+            ))
+        self._previous = sample
+        self.samples.append(sample)
+        return sample
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def last(self) -> Optional[ConfigurationSample]:
+        """Most recent sample, if any."""
+        return self.samples[-1] if self.samples else None
+
+    def legitimate_samples(self) -> List[ConfigurationSample]:
+        """Samples on which ΠA ∧ ΠS ∧ ΠM holds."""
+        return [s for s in self.samples if s.report.legitimate]
+
+    def best_effort_violations(self) -> List[TransitionRecord]:
+        """Transitions where ΠT held but ΠC did not."""
+        return [t for t in self.transitions if t.best_effort_violation]

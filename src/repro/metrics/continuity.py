@@ -1,0 +1,58 @@
+"""Best-effort continuity measurements (experiments E3, E7).
+
+The best-effort requirement of the paper is ΠT ⇒ ΠC on every pair of
+consecutive configurations: whenever the topology change preserved the
+diameter condition inside every current group, no node may disappear from any
+group.  :func:`continuity_summary` aggregates the transition records produced
+by the sampler into the quantities reported by experiment E3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .collectors import TransitionRecord
+
+__all__ = ["ContinuitySummary", "continuity_summary"]
+
+
+@dataclass(frozen=True)
+class ContinuitySummary:
+    """Aggregated continuity behaviour over one run."""
+
+    transitions: int
+    topological_held: int
+    continuity_held: int
+    violations_under_topological: int
+    violations_total: int
+    members_lost_total: int
+
+    @property
+    def best_effort_respected(self) -> bool:
+        """Whether ΠT ⇒ ΠC held on every observed transition."""
+        return self.violations_under_topological == 0
+
+    @property
+    def violation_rate_under_topological(self) -> float:
+        """Fraction of ΠT-preserving transitions that still lost a member."""
+        if self.topological_held == 0:
+            return 0.0
+        return self.violations_under_topological / self.topological_held
+
+
+def continuity_summary(transitions: Sequence[TransitionRecord]) -> ContinuitySummary:
+    """Summarise the transition records of one run."""
+    topological_held = sum(1 for t in transitions if t.topological_ok)
+    continuity_held = sum(1 for t in transitions if t.continuity_ok)
+    violations_total = sum(1 for t in transitions if not t.continuity_ok)
+    violations_under_topological = sum(1 for t in transitions if t.best_effort_violation)
+    members_lost = sum(t.lost_members for t in transitions)
+    return ContinuitySummary(
+        transitions=len(transitions),
+        topological_held=topological_held,
+        continuity_held=continuity_held,
+        violations_under_topological=violations_under_topological,
+        violations_total=violations_total,
+        members_lost_total=members_lost,
+    )

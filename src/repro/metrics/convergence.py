@@ -1,0 +1,72 @@
+"""Stabilization / convergence measurements (experiments E1, E6)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .collectors import ConfigurationSample
+
+__all__ = [
+    "stabilization_time",
+    "first_legitimate_time",
+    "time_until",
+    "legitimate_fraction",
+]
+
+
+def first_legitimate_time(samples: Sequence[ConfigurationSample]) -> Optional[float]:
+    """Time of the first sample satisfying ΠA ∧ ΠS ∧ ΠM (``None`` if never)."""
+    for sample in samples:
+        if sample.report.legitimate:
+            return sample.time
+    return None
+
+
+def stabilization_time(samples: Sequence[ConfigurationSample],
+                       start_time: float = 0.0) -> Optional[float]:
+    """Time after which ΠA ∧ ΠS ∧ ΠM holds in every remaining sample.
+
+    This is the empirical counterpart of the attractor definition: the earliest
+    sample time ``T >= start_time`` such that every later sample (including the
+    last one) is legitimate.  ``None`` when the final sample is not legitimate.
+    """
+    eligible = [s for s in samples if s.time >= start_time]
+    if not eligible or not eligible[-1].report.legitimate:
+        return None
+    stabilization: Optional[float] = None
+    for sample in eligible:
+        if sample.report.legitimate:
+            if stabilization is None:
+                stabilization = sample.time
+        else:
+            stabilization = None
+    return stabilization
+
+
+def time_until(samples: Sequence[ConfigurationSample],
+               predicate: Callable[[ConfigurationSample], bool],
+               start_time: float = 0.0) -> Optional[float]:
+    """Delay, counted from ``start_time``, until ``predicate`` first holds and then
+    keeps holding for every later sample.  ``None`` when it never settles."""
+    eligible = [s for s in samples if s.time >= start_time]
+    if not eligible or not predicate(eligible[-1]):
+        return None
+    settle: Optional[float] = None
+    for sample in eligible:
+        if predicate(sample):
+            if settle is None:
+                settle = sample.time
+        else:
+            settle = None
+    if settle is None:
+        return None
+    return settle - start_time
+
+
+def legitimate_fraction(samples: Sequence[ConfigurationSample],
+                        start_time: float = 0.0) -> float:
+    """Fraction of samples (after ``start_time``) satisfying ΠA ∧ ΠS ∧ ΠM."""
+    eligible = [s for s in samples if s.time >= start_time]
+    if not eligible:
+        return 0.0
+    return sum(1 for s in eligible if s.report.legitimate) / len(eligible)

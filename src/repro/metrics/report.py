@@ -1,0 +1,58 @@
+"""Plain-text table formatting for the experiment harness.
+
+The benchmark harness prints, for every experiment, rows comparable to what the
+paper's evaluation would have tabulated.  No third-party table library is used
+so the output stays dependency-free and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly rendering of one cell."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.3f}".rstrip("0").rstrip(".") if abs(value) < 1e6 else f"{value:.3g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = [str(c) for c in columns]
+    body: List[List[str]] = [[format_value(row.get(c)) for c in columns] for row in rows]
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+              for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in body:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None,
+                title: Optional[str] = None) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, columns=columns, title=title))

@@ -1,0 +1,21 @@
+"""Mobility substrate: synthetic movement models and churn schedules."""
+
+from .base import MobilityModel
+from .churn import ChurnEvent, ChurnSchedule, random_churn_schedule
+from .highway import HighwayMobility
+from .random_walk import RandomWalkMobility
+from .random_waypoint import RandomWaypointMobility
+from .rpgm import ReferencePointGroupMobility
+from .static import StaticMobility
+
+__all__ = [
+    "MobilityModel",
+    "ChurnEvent",
+    "ChurnSchedule",
+    "random_churn_schedule",
+    "HighwayMobility",
+    "RandomWalkMobility",
+    "RandomWaypointMobility",
+    "ReferencePointGroupMobility",
+    "StaticMobility",
+]

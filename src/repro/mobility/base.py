@@ -1,0 +1,50 @@
+"""Mobility model interface.
+
+A mobility model transforms the node-position mapping at fixed time intervals.
+Models are deliberately stateless with respect to the network: the
+:class:`repro.net.network.Network` owns the positions and calls
+:meth:`MobilityModel.step` periodically (every ``step_interval`` simulated
+seconds).  Models keep per-node kinematic state (destination, speed, lane…)
+internally, keyed by node id, and create it lazily the first time they see a
+node — so nodes may join or leave at any time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MobilityModel"]
+
+Point = Tuple[float, float]
+
+
+class MobilityModel:
+    """Base class for all mobility models."""
+
+    def __init__(self, step_interval: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        if step_interval <= 0:
+            raise ValueError("step_interval must be positive")
+        self.step_interval = float(step_interval)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Random stream of the model."""
+        return self._rng
+
+    def set_rng(self, rng: np.random.Generator) -> None:
+        """Inject the random stream (called by :func:`repro.core.protocol.build_grp_network`)."""
+        self._rng = rng
+
+    # ------------------------------------------------------------------- API
+
+    def initial_positions(self, node_ids, **kwargs) -> Dict[Hashable, Point]:
+        """Optional helper producing initial positions consistent with the model."""
+        raise NotImplementedError(f"{type(self).__name__} does not provide initial positions")
+
+    def step(self, positions: Mapping[Hashable, Point], dt: float) -> Dict[Hashable, Point]:
+        """Return the new positions after ``dt`` simulated seconds."""
+        raise NotImplementedError

@@ -1,0 +1,68 @@
+"""Random walk (random direction) mobility with reflection at the area borders."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.net.geometry import random_positions
+
+from .base import MobilityModel
+
+__all__ = ["RandomWalkMobility"]
+
+Point = Tuple[float, float]
+
+
+class RandomWalkMobility(MobilityModel):
+    """Each node moves at constant speed and redraws its heading every ``turn_interval``.
+
+    Positions are reflected on the rectangle borders, keeping nodes inside the
+    area without the density bias of wrapping.
+    """
+
+    def __init__(self, area: Tuple[float, float], speed: float, turn_interval: float = 5.0,
+                 step_interval: float = 1.0, rng: Optional[np.random.Generator] = None):
+        super().__init__(step_interval=step_interval, rng=rng)
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        if turn_interval <= 0:
+            raise ValueError("turn_interval must be positive")
+        self.area = (float(area[0]), float(area[1]))
+        self.speed = float(speed)
+        self.turn_interval = float(turn_interval)
+        self._headings: Dict[Hashable, float] = {}
+        self._until_turn: Dict[Hashable, float] = {}
+
+    def initial_positions(self, node_ids, **kwargs) -> Dict[Hashable, Point]:
+        return random_positions(node_ids, self.area, self._rng)
+
+    def _heading_of(self, node: Hashable) -> float:
+        if node not in self._headings:
+            self._headings[node] = float(self._rng.uniform(0, 2 * math.pi))
+            self._until_turn[node] = self.turn_interval
+        return self._headings[node]
+
+    def _reflect(self, value: float, bound: float) -> float:
+        if bound <= 0:
+            return 0.0
+        period = 2 * bound
+        value = value % period
+        return value if value <= bound else period - value
+
+    def step(self, positions: Mapping[Hashable, Point], dt: float) -> Dict[Hashable, Point]:
+        new_positions: Dict[Hashable, Point] = {}
+        for node, position in positions.items():
+            heading = self._heading_of(node)
+            self._until_turn[node] -= dt
+            if self._until_turn[node] <= 0:
+                heading = float(self._rng.uniform(0, 2 * math.pi))
+                self._headings[node] = heading
+                self._until_turn[node] = self.turn_interval
+            x = position[0] + math.cos(heading) * self.speed * dt
+            y = position[1] + math.sin(heading) * self.speed * dt
+            new_positions[node] = (self._reflect(x, self.area[0]),
+                                   self._reflect(y, self.area[1]))
+        return new_positions

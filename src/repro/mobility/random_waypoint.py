@@ -1,0 +1,104 @@
+"""Random waypoint mobility.
+
+The classic MANET model: each node picks a uniform random destination in the
+area, travels towards it at a uniform random speed, optionally pauses, then
+picks a new destination.  Low speeds produce topologies where the paper's
+topological predicate ΠT holds most of the time (experiment E3); high speeds
+break it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.net.geometry import random_positions
+
+from .base import MobilityModel
+
+__all__ = ["RandomWaypointMobility"]
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class _NodeState:
+    destination: Point
+    speed: float
+    pause_remaining: float = 0.0
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random waypoint over a rectangular area.
+
+    Parameters
+    ----------
+    area:
+        ``(width, height)`` of the simulation area.
+    min_speed, max_speed:
+        Uniform speed bounds (distance units per simulated second).
+    pause_time:
+        Pause duration at each waypoint.
+    """
+
+    def __init__(self, area: Tuple[float, float], min_speed: float, max_speed: float,
+                 pause_time: float = 0.0, step_interval: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(step_interval=step_interval, rng=rng)
+        if min_speed < 0 or max_speed < min_speed:
+            raise ValueError("need 0 <= min_speed <= max_speed")
+        if pause_time < 0:
+            raise ValueError("pause_time must be non-negative")
+        self.area = (float(area[0]), float(area[1]))
+        self.min_speed = float(min_speed)
+        self.max_speed = float(max_speed)
+        self.pause_time = float(pause_time)
+        self._states: Dict[Hashable, _NodeState] = {}
+
+    # -------------------------------------------------------------- internals
+
+    def _new_destination(self) -> Point:
+        return (float(self._rng.uniform(0, self.area[0])),
+                float(self._rng.uniform(0, self.area[1])))
+
+    def _new_speed(self) -> float:
+        if self.max_speed == self.min_speed:
+            return self.min_speed
+        return float(self._rng.uniform(self.min_speed, self.max_speed))
+
+    def _state_of(self, node: Hashable) -> _NodeState:
+        state = self._states.get(node)
+        if state is None:
+            state = _NodeState(destination=self._new_destination(), speed=self._new_speed())
+            self._states[node] = state
+        return state
+
+    # ------------------------------------------------------------------- API
+
+    def initial_positions(self, node_ids, **kwargs) -> Dict[Hashable, Point]:
+        return random_positions(node_ids, self.area, self._rng)
+
+    def step(self, positions: Mapping[Hashable, Point], dt: float) -> Dict[Hashable, Point]:
+        new_positions: Dict[Hashable, Point] = {}
+        for node, position in positions.items():
+            state = self._state_of(node)
+            if state.pause_remaining > 0:
+                state.pause_remaining = max(0.0, state.pause_remaining - dt)
+                new_positions[node] = position
+                continue
+            dx = state.destination[0] - position[0]
+            dy = state.destination[1] - position[1]
+            remaining = math.hypot(dx, dy)
+            travel = state.speed * dt
+            if remaining <= travel or remaining == 0.0:
+                new_positions[node] = state.destination
+                state.pause_remaining = self.pause_time
+                state.destination = self._new_destination()
+                state.speed = self._new_speed()
+            else:
+                ratio = travel / remaining
+                new_positions[node] = (position[0] + dx * ratio, position[1] + dy * ratio)
+        return new_positions

@@ -1,0 +1,127 @@
+"""Reference Point Group Mobility (RPGM).
+
+Nodes are organised in mobility groups; each group has a logical centre that
+follows a random-waypoint trajectory, and members wander around their group
+centre within a bounded radius.  This creates exactly the situation GRP is
+designed for: members of the same mobility group stay within a small graph
+distance of each other (ΠT holds inside groups), while different groups drift
+apart or cross each other (mergers / splits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import MobilityModel
+from .random_waypoint import RandomWaypointMobility
+
+__all__ = ["ReferencePointGroupMobility"]
+
+Point = Tuple[float, float]
+
+
+class ReferencePointGroupMobility(MobilityModel):
+    """RPGM over a rectangular area.
+
+    Parameters
+    ----------
+    area:
+        ``(width, height)`` of the simulation area.
+    groups:
+        Sequence of node-id collections; each collection is one mobility group.
+    group_speed:
+        Speed of the group centres.
+    member_radius:
+        Maximum distance of a member from its group centre.
+    member_speed:
+        Speed of the members' local wandering.
+    """
+
+    def __init__(self, area: Tuple[float, float], groups: Sequence[Iterable[Hashable]],
+                 group_speed: float = 5.0, member_radius: float = 20.0,
+                 member_speed: float = 2.0, step_interval: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(step_interval=step_interval, rng=rng)
+        self.area = (float(area[0]), float(area[1]))
+        self.groups: List[List[Hashable]] = [list(group) for group in groups]
+        if not self.groups:
+            raise ValueError("at least one mobility group is required")
+        self.member_radius = float(member_radius)
+        self.member_speed = float(member_speed)
+        self._group_of: Dict[Hashable, int] = {}
+        for index, members in enumerate(self.groups):
+            for member in members:
+                self._group_of[member] = index
+        self._centre_model = RandomWaypointMobility(area, group_speed, group_speed,
+                                                    step_interval=step_interval, rng=self._rng)
+        self._centres: Dict[int, Point] = {}
+        self._offsets: Dict[Hashable, Point] = {}
+
+    def set_rng(self, rng: np.random.Generator) -> None:
+        super().set_rng(rng)
+        self._centre_model.set_rng(rng)
+
+    # ------------------------------------------------------------------- API
+
+    def initial_positions(self, node_ids=None, **kwargs) -> Dict[Hashable, Point]:
+        """Scatter group centres uniformly and members around them."""
+        node_ids = list(node_ids) if node_ids is not None else list(self._group_of)
+        for index in range(len(self.groups)):
+            self._centres[index] = (float(self._rng.uniform(0, self.area[0])),
+                                    float(self._rng.uniform(0, self.area[1])))
+        positions: Dict[Hashable, Point] = {}
+        for node in node_ids:
+            group = self._group_of.get(node, 0)
+            centre = self._centres.setdefault(
+                group, (float(self._rng.uniform(0, self.area[0])),
+                        float(self._rng.uniform(0, self.area[1]))))
+            offset = self._draw_offset()
+            self._offsets[node] = offset
+            positions[node] = self._clamp((centre[0] + offset[0], centre[1] + offset[1]))
+        return positions
+
+    def _draw_offset(self) -> Point:
+        radius = float(self._rng.uniform(0, self.member_radius))
+        angle = float(self._rng.uniform(0, 2 * np.pi))
+        return (radius * float(np.cos(angle)), radius * float(np.sin(angle)))
+
+    def _clamp(self, point: Point) -> Point:
+        return (min(max(point[0], 0.0), self.area[0]),
+                min(max(point[1], 0.0), self.area[1]))
+
+    def step(self, positions: Mapping[Hashable, Point], dt: float) -> Dict[Hashable, Point]:
+        if not self._centres:
+            for index in range(len(self.groups)):
+                self._centres[index] = (float(self._rng.uniform(0, self.area[0])),
+                                        float(self._rng.uniform(0, self.area[1])))
+        # Move the group centres with the embedded random-waypoint model.
+        centre_positions = {f"__centre_{idx}": pos for idx, pos in self._centres.items()}
+        new_centres = self._centre_model.step(centre_positions, dt)
+        for key, pos in new_centres.items():
+            self._centres[int(key.rsplit("_", 1)[1])] = pos
+        # Members drift towards a slowly changing offset around their centre.
+        new_positions: Dict[Hashable, Point] = {}
+        for node, position in positions.items():
+            group = self._group_of.get(node, 0)
+            centre = self._centres.get(group, position)
+            offset = self._offsets.get(node)
+            if offset is None or self._rng.random() < 0.1:
+                offset = self._draw_offset()
+                self._offsets[node] = offset
+            target = (centre[0] + offset[0], centre[1] + offset[1])
+            dx, dy = target[0] - position[0], target[1] - position[1]
+            dist = float(np.hypot(dx, dy))
+            max_move = self.member_speed * dt + self._centre_model.max_speed * dt
+            if dist <= max_move or dist == 0.0:
+                new_positions[node] = self._clamp(target)
+            else:
+                ratio = max_move / dist
+                new_positions[node] = self._clamp((position[0] + dx * ratio,
+                                                   position[1] + dy * ratio))
+        return new_positions
+
+    def group_index_of(self, node: Hashable) -> Optional[int]:
+        """Mobility-group index of ``node``."""
+        return self._group_of.get(node)

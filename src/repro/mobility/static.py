@@ -1,0 +1,18 @@
+"""Static (no-movement) mobility model, used by the fixed-topology experiments."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+from .base import MobilityModel
+
+__all__ = ["StaticMobility"]
+
+Point = Tuple[float, float]
+
+
+class StaticMobility(MobilityModel):
+    """Positions never change."""
+
+    def step(self, positions: Mapping[Hashable, Point], dt: float) -> Dict[Hashable, Point]:
+        return dict(positions)

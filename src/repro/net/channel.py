@@ -1,0 +1,127 @@
+"""Broadcast channel models.
+
+The paper assumes a local broadcast medium close to IEEE 802.11: one-message
+channels, fair sending/reception, possible losses, and a fair-channel
+hypothesis (τ1, τ2) guaranteeing that a persistent sender is eventually heard.
+The channel model decides, per (sender, receiver) pair and per transmission,
+whether and when the message is delivered.
+
+:class:`LossyChannel` applies an independent loss probability per receiver and
+a delivery delay.  :class:`CollisionChannel` additionally drops receptions when
+two transmissions overlap at the receiver within a configurable collision
+window, modelling the "at most one message on the channel" hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ChannelDecision", "ChannelModel", "PerfectChannel", "LossyChannel",
+           "CollisionChannel"]
+
+
+@dataclass(frozen=True)
+class ChannelDecision:
+    """Outcome of a transmission attempt towards one receiver."""
+
+    delivered: bool
+    delay: float = 0.0
+    reason: str = "ok"
+
+
+class ChannelModel:
+    """Interface: decide delivery of one transmission towards one receiver."""
+
+    def decide(self, sender: Hashable, receiver: Hashable, time: float) -> ChannelDecision:
+        """Return the delivery decision for a transmission emitted at ``time``."""
+        raise NotImplementedError
+
+
+class PerfectChannel(ChannelModel):
+    """Every transmission is delivered with a constant (possibly zero) delay."""
+
+    def __init__(self, delay: float = 0.0):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = float(delay)
+
+    def decide(self, sender, receiver, time) -> ChannelDecision:
+        return ChannelDecision(delivered=True, delay=self.delay)
+
+
+class LossyChannel(ChannelModel):
+    """Independent per-receiver loss with uniform random delay.
+
+    Parameters
+    ----------
+    loss_probability:
+        Probability that a given receiver misses a given transmission.
+    min_delay, max_delay:
+        Uniform delivery delay bounds.
+    rng:
+        Random generator (injected by the network for reproducibility).
+    """
+
+    def __init__(self, loss_probability: float = 0.0, min_delay: float = 0.0,
+                 max_delay: float = 0.0, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError("loss_probability must be in [0, 1]")
+        if min_delay < 0 or max_delay < min_delay:
+            raise ValueError("need 0 <= min_delay <= max_delay")
+        self.loss_probability = float(loss_probability)
+        self.min_delay = float(min_delay)
+        self.max_delay = float(max_delay)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.dropped = 0
+        self.delivered = 0
+
+    def set_rng(self, rng: np.random.Generator) -> None:
+        """Inject the random stream used for loss and delay draws."""
+        self._rng = rng
+
+    def _draw_delay(self) -> float:
+        if self.max_delay == self.min_delay:
+            return self.min_delay
+        return float(self._rng.uniform(self.min_delay, self.max_delay))
+
+    def decide(self, sender, receiver, time) -> ChannelDecision:
+        if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+            self.dropped += 1
+            return ChannelDecision(delivered=False, reason="loss")
+        self.delivered += 1
+        return ChannelDecision(delivered=True, delay=self._draw_delay())
+
+
+class CollisionChannel(LossyChannel):
+    """Lossy channel with receiver-side collisions.
+
+    If two different senders transmit towards the same receiver within
+    ``collision_window`` time units, the later transmission is dropped (and the
+    earlier one is unaffected — a simplified capture model).  This realizes the
+    paper's hypothesis (i)/(iv): a node cannot receive while another node in
+    its vicinity is transmitting.
+    """
+
+    def __init__(self, collision_window: float, loss_probability: float = 0.0,
+                 min_delay: float = 0.0, max_delay: float = 0.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(loss_probability, min_delay, max_delay, rng)
+        if collision_window < 0:
+            raise ValueError("collision_window must be non-negative")
+        self.collision_window = float(collision_window)
+        self.collisions = 0
+        # receiver -> (sender, time of the last transmission heard)
+        self._last_heard: Dict[Hashable, Tuple[Hashable, float]] = {}
+
+    def decide(self, sender, receiver, time) -> ChannelDecision:
+        last = self._last_heard.get(receiver)
+        if (last is not None and last[0] != sender
+                and (time - last[1]) < self.collision_window):
+            self.collisions += 1
+            self._last_heard[receiver] = (sender, time)
+            return ChannelDecision(delivered=False, reason="collision")
+        self._last_heard[receiver] = (sender, time)
+        return super().decide(sender, receiver, time)

@@ -1,0 +1,99 @@
+"""Transient-fault injection.
+
+Self-stabilization is about recovering from *arbitrary* transient faults:
+corrupted memories and corrupted messages.  The paper treats topology changes
+as transient faults too, but those are exercised by the mobility models; this
+module provides the memory/message corruption used by the stabilization
+experiments (E6) and the recovery tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Inject transient faults into GRP nodes of a network.
+
+    The injector works against the public state-mutation API of
+    :class:`repro.core.node.GRPNode` (``corrupt_state``) so it stays decoupled
+    from the node internals.
+    """
+
+    def __init__(self, network, rng: Optional[np.random.Generator] = None,
+                 trace: Optional[TraceRecorder] = None):
+        self.network = network
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.trace = trace
+        self.injected = 0
+
+    # ----------------------------------------------------------- primitives
+
+    def _record(self, kind: str, **data: Any) -> None:
+        self.injected += 1
+        if self.trace is not None:
+            self.trace.record(self.network.sim.now, f"fault.{kind}", **data)
+
+    def inject_ghost_identity(self, node_id: Hashable, ghost_id: Hashable,
+                              position: int = 1) -> None:
+        """Insert a non-existent identity into a node's ancestor list.
+
+        This reproduces the initial condition of Proposition 2 (Exist): the
+        ghost must eventually disappear from every list.
+        """
+        node = self.network.process(node_id)
+        node.corrupt_state(ghost_nodes={ghost_id: position})
+        self._record("ghost", node=node_id, ghost=ghost_id, position=position)
+
+    def corrupt_view(self, node_id: Hashable, fake_members: Iterable[Hashable]) -> None:
+        """Force arbitrary members into a node's view (agreement violation)."""
+        node = self.network.process(node_id)
+        node.corrupt_state(view=set(fake_members))
+        self._record("view", node=node_id, members=sorted(map(repr, fake_members)))
+
+    def corrupt_priority(self, node_id: Hashable, value: int) -> None:
+        """Overwrite a node's own priority counter."""
+        node = self.network.process(node_id)
+        node.corrupt_state(priority=value)
+        self._record("priority", node=node_id, value=value)
+
+    def scramble_quarantines(self, node_id: Hashable, max_value: Optional[int] = None) -> None:
+        """Randomize every quarantine counter of a node."""
+        node = self.network.process(node_id)
+        limit = max_value if max_value is not None else node.config.dmax
+        node.corrupt_state(quarantine_noise=(self.rng, limit))
+        self._record("quarantine", node=node_id)
+
+    def oversized_list(self, node_id: Hashable, extra_ids: Sequence[Hashable]) -> None:
+        """Make a node's list longer than Dmax + 1 (initial condition of Prop. 1)."""
+        node = self.network.process(node_id)
+        node.corrupt_state(append_levels=list(extra_ids))
+        self._record("oversize", node=node_id, extra=len(extra_ids))
+
+    # -------------------------------------------------------------- batches
+
+    def random_memory_corruption(self, fraction: float = 0.3,
+                                 ghost_pool: Optional[Sequence[Hashable]] = None) -> List[Hashable]:
+        """Corrupt a random fraction of the nodes in one shot.
+
+        Each selected node gets a ghost identity (when a pool is provided) and a
+        scrambled quarantine table.  Returns the list of corrupted node ids.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        node_ids = list(self.network.node_ids)
+        count = max(1, int(round(fraction * len(node_ids))))
+        chosen_idx = self.rng.choice(len(node_ids), size=count, replace=False)
+        chosen = [node_ids[i] for i in chosen_idx]
+        for node_id in chosen:
+            if ghost_pool:
+                ghost = ghost_pool[int(self.rng.integers(0, len(ghost_pool)))]
+                self.inject_ghost_identity(node_id, ghost)
+            self.scramble_quarantines(node_id)
+        return chosen

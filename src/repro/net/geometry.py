@@ -1,0 +1,98 @@
+"""2-D Euclidean geometry helpers.
+
+The paper's system model places nodes in a Euclidean space and defines the
+*vicinity* of a node as the region from which it can receive.  This module
+provides points, distances, and placement helpers used by the radio models and
+the mobility models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "distance",
+    "distances_from",
+    "pairwise_distances",
+    "random_positions",
+    "grid_positions",
+    "line_positions",
+    "clamp_to_area",
+    "bounding_box",
+]
+
+Point = Tuple[float, float]
+
+
+def distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two 2-D points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+def distances_from(origin: Sequence[float],
+                   positions: Mapping[Hashable, Sequence[float]]) -> Dict[Hashable, float]:
+    """Distances from ``origin`` to every position in the mapping."""
+    ox, oy = origin[0], origin[1]
+    return {node: math.hypot(p[0] - ox, p[1] - oy) for node, p in positions.items()}
+
+
+def pairwise_distances(positions: Mapping[Hashable, Sequence[float]]) -> Dict[Tuple, float]:
+    """All pairwise distances; keys are unordered node pairs stored as sorted tuples."""
+    nodes = list(positions)
+    out: Dict[Tuple, float] = {}
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1:]:
+            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            out[key] = distance(positions[u], positions[v])
+    return out
+
+
+def random_positions(node_ids: Iterable[Hashable], area: Tuple[float, float],
+                     rng: np.random.Generator) -> Dict[Hashable, Point]:
+    """Uniform random placement of ``node_ids`` in a ``width x height`` rectangle."""
+    width, height = float(area[0]), float(area[1])
+    ids = list(node_ids)
+    xs = rng.uniform(0.0, width, size=len(ids))
+    ys = rng.uniform(0.0, height, size=len(ids))
+    return {node: (float(x), float(y)) for node, x, y in zip(ids, xs, ys)}
+
+
+def grid_positions(node_ids: Iterable[Hashable], spacing: float,
+                   columns: int) -> Dict[Hashable, Point]:
+    """Regular grid placement (row-major) with the given spacing and column count."""
+    if columns <= 0:
+        raise ValueError("columns must be positive")
+    out: Dict[Hashable, Point] = {}
+    for index, node in enumerate(node_ids):
+        row, col = divmod(index, columns)
+        out[node] = (col * spacing, row * spacing)
+    return out
+
+
+def line_positions(node_ids: Iterable[Hashable], spacing: float,
+                   origin: Point = (0.0, 0.0)) -> Dict[Hashable, Point]:
+    """Place nodes on a horizontal line with constant spacing (chain topologies)."""
+    out: Dict[Hashable, Point] = {}
+    for index, node in enumerate(node_ids):
+        out[node] = (origin[0] + index * spacing, origin[1])
+    return out
+
+
+def clamp_to_area(point: Sequence[float], area: Tuple[float, float]) -> Point:
+    """Clamp ``point`` inside the ``[0, width] x [0, height]`` rectangle."""
+    x = min(max(point[0], 0.0), float(area[0]))
+    y = min(max(point[1], 0.0), float(area[1]))
+    return (x, y)
+
+
+def bounding_box(positions: Mapping[Hashable, Sequence[float]]) -> Tuple[Point, Point]:
+    """Return ``((min_x, min_y), (max_x, max_y))`` of a set of positions."""
+    if not positions:
+        return ((0.0, 0.0), (0.0, 0.0))
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    return ((min(xs), min(ys)), (max(xs), max(ys)))

@@ -1,0 +1,244 @@
+"""The wireless network: nodes, positions, broadcast delivery, churn.
+
+:class:`Network` glues together the simulator, a radio model (who can hear
+whom), a channel model (losses, delays, collisions), a mobility model (how
+positions evolve) and the protocol processes attached to each node.
+
+A broadcast from node ``u`` is delivered to every *active* node ``v`` such that
+``u`` is in the vicinity of ``v`` at emission time, unless the channel decides
+to drop it.  Delivery happens after the channel delay, through the process
+:meth:`repro.sim.process.Process.deliver` hook.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import TraceRecorder
+
+from .channel import ChannelModel, PerfectChannel
+from .geometry import Point
+from .radio import RadioModel
+from .topology import snapshot_graph
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A dynamic wireless network of protocol processes.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator the network runs on.
+    radio:
+        Vicinity model.
+    channel:
+        Loss/delay/collision model (defaults to a perfect channel).
+    mobility:
+        Optional mobility model (see :mod:`repro.mobility`); if given,
+        :meth:`start_mobility` schedules periodic position updates.
+    trace:
+        Optional trace recorder; the network records ``send``, ``receive`` and
+        ``drop`` events into it.
+    """
+
+    def __init__(self, sim: Simulator, radio: RadioModel,
+                 channel: Optional[ChannelModel] = None,
+                 mobility: Optional[Any] = None,
+                 trace: Optional[TraceRecorder] = None):
+        self.sim = sim
+        self.radio = radio
+        self.channel = channel if channel is not None else PerfectChannel()
+        self.mobility = mobility
+        self.trace = trace
+        self._processes: Dict[Hashable, Process] = {}
+        self._positions: Dict[Hashable, Point] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self._mobility_handle = None
+        self._position_listeners: List[Callable[[float, Dict[Hashable, Point]], None]] = []
+
+    # ------------------------------------------------------------- topology
+
+    @property
+    def node_ids(self) -> List[Hashable]:
+        """All node identifiers (active or not), in insertion order."""
+        return list(self._processes)
+
+    @property
+    def positions(self) -> Dict[Hashable, Point]:
+        """Current positions (copy)."""
+        return dict(self._positions)
+
+    def position_of(self, node_id: Hashable) -> Point:
+        """Current position of ``node_id``."""
+        return self._positions[node_id]
+
+    def set_position(self, node_id: Hashable, position: Point) -> None:
+        """Teleport ``node_id`` to ``position``."""
+        if node_id not in self._processes:
+            raise KeyError(f"unknown node {node_id!r}")
+        self._positions[node_id] = (float(position[0]), float(position[1]))
+
+    def set_positions(self, positions: Mapping[Hashable, Point]) -> None:
+        """Update several node positions at once."""
+        for node_id, pos in positions.items():
+            self.set_position(node_id, pos)
+
+    def process(self, node_id: Hashable) -> Process:
+        """The protocol process attached to ``node_id``."""
+        return self._processes[node_id]
+
+    @property
+    def processes(self) -> Dict[Hashable, Process]:
+        """Mapping node id -> process (copy)."""
+        return dict(self._processes)
+
+    def active_nodes(self) -> Set[Hashable]:
+        """Identifiers of the currently active nodes."""
+        return {nid for nid, proc in self._processes.items() if proc.active}
+
+    def add_node(self, process: Process, position: Point) -> None:
+        """Attach a protocol process at ``position``."""
+        if process.node_id in self._processes:
+            raise ValueError(f"node {process.node_id!r} already exists")
+        process.bind(self.sim, self)
+        self._processes[process.node_id] = process
+        self._positions[process.node_id] = (float(position[0]), float(position[1]))
+
+    def remove_node(self, node_id: Hashable) -> Process:
+        """Detach and return the process of ``node_id`` (the node disappears)."""
+        process = self._processes.pop(node_id)
+        self._positions.pop(node_id, None)
+        return process
+
+    def start(self) -> None:
+        """Start every attached process and the mobility process if configured."""
+        for process in self._processes.values():
+            process.start()
+        if self.mobility is not None:
+            self.start_mobility()
+
+    # ------------------------------------------------------------------ churn
+
+    def deactivate_node(self, node_id: Hashable) -> None:
+        """Power off a node (it keeps its position but neither sends nor receives)."""
+        self._processes[node_id].deactivate()
+
+    def activate_node(self, node_id: Hashable) -> None:
+        """Power a node back on."""
+        self._processes[node_id].activate()
+
+    # -------------------------------------------------------------- mobility
+
+    def add_position_listener(self,
+                              listener: Callable[[float, Dict[Hashable, Point]], None]) -> None:
+        """Register a callback invoked after each mobility step with (time, positions)."""
+        self._position_listeners.append(listener)
+
+    def start_mobility(self, interval: Optional[float] = None) -> None:
+        """Schedule periodic mobility updates.
+
+        ``interval`` defaults to the mobility model's ``step_interval``.
+        """
+        if self.mobility is None:
+            raise RuntimeError("no mobility model configured")
+        step = float(interval if interval is not None else self.mobility.step_interval)
+        if step <= 0:
+            raise ValueError("mobility interval must be positive")
+
+        def _move() -> None:
+            new_positions = self.mobility.step(self._positions, step)
+            self._positions.update(
+                {n: (float(p[0]), float(p[1])) for n, p in new_positions.items()})
+            for listener in self._position_listeners:
+                listener(self.sim.now, dict(self._positions))
+
+        self._mobility_handle = self.sim.call_every(step, _move)
+
+    def stop_mobility(self) -> None:
+        """Stop the periodic mobility updates."""
+        if self._mobility_handle is not None:
+            self._mobility_handle.cancel()
+            self._mobility_handle = None
+
+    # ------------------------------------------------------------- messaging
+
+    def broadcast(self, sender: Hashable, payload: Any) -> int:
+        """Broadcast ``payload`` from ``sender`` to its current vicinity.
+
+        Returns the number of receivers the message was (eventually) delivered to.
+        """
+        sender_proc = self._processes[sender]
+        if not sender_proc.active:
+            return 0
+        self.messages_sent += 1
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "send", sender=sender)
+        sender_pos = self._positions[sender]
+        delivered = 0
+        for receiver, proc in self._processes.items():
+            if receiver == sender or not proc.active:
+                continue
+            receiver_pos = self._positions[receiver]
+            if not self.radio.in_vicinity(sender, receiver, sender_pos, receiver_pos):
+                continue
+            decision = self.channel.decide(sender, receiver, self.sim.now)
+            if not decision.delivered:
+                self.messages_dropped += 1
+                if self.trace is not None:
+                    self.trace.record(self.sim.now, "drop", sender=sender, receiver=receiver,
+                                      reason=decision.reason)
+                continue
+            delivered += 1
+            self.messages_delivered += 1
+            if decision.delay <= 0:
+                self._deliver(sender, receiver, payload)
+            else:
+                self.sim.schedule(decision.delay, self._deliver, sender, receiver, payload)
+        return delivered
+
+    def _deliver(self, sender: Hashable, receiver: Hashable, payload: Any) -> None:
+        proc = self._processes.get(receiver)
+        if proc is None or not proc.active:
+            return
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "receive", sender=sender, receiver=receiver)
+        proc.deliver(sender, payload)
+
+    # -------------------------------------------------------------- snapshots
+
+    def topology(self) -> nx.Graph:
+        """Symmetric-link snapshot of the current topology over active nodes."""
+        return snapshot_graph(self._positions, self.radio.link_exists,
+                              active=self.active_nodes())
+
+    def directed_topology(self) -> nx.DiGraph:
+        """Directed-link snapshot (u -> v iff u is in the vicinity of v)."""
+        graph = nx.DiGraph()
+        active = self.active_nodes()
+        graph.add_nodes_from(active)
+        for u in active:
+            for v in active:
+                if u == v:
+                    continue
+                if self.radio.link_exists(u, v, self._positions[u], self._positions[v]):
+                    graph.add_edge(u, v)
+        return graph
+
+    def neighbors_of(self, node_id: Hashable) -> Set[Hashable]:
+        """Symmetric neighbours of ``node_id`` in the current snapshot."""
+        graph = self.topology()
+        if node_id not in graph:
+            return set()
+        return set(graph.neighbors(node_id))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Network(nodes={len(self._processes)}, active={len(self.active_nodes())}, "
+                f"sent={self.messages_sent})")

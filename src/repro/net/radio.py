@@ -1,0 +1,132 @@
+"""Radio / vicinity models.
+
+In the paper, node ``u`` is in the *vicinity* of ``v`` when a message sent by
+``u`` can be received by ``v``; the relation is *not* necessarily symmetric
+(Section 2).  A radio model answers exactly that question given the positions
+of the two nodes.
+
+Three models are provided:
+
+* :class:`UnitDiskRadio` — classic symmetric unit-disk graph;
+* :class:`AsymmetricRangeRadio` — each node has its own transmission range, so
+  links can be asymmetric (this exercises the single-mark handshake of GRP);
+* :class:`ProbabilisticDiskRadio` — a disk whose boundary band delivers with a
+  configurable probability, approximating fading.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .geometry import distance
+
+__all__ = [
+    "RadioModel",
+    "UnitDiskRadio",
+    "AsymmetricRangeRadio",
+    "ProbabilisticDiskRadio",
+]
+
+
+class RadioModel:
+    """Interface: decides whether a transmission from ``sender`` reaches ``receiver``."""
+
+    def in_vicinity(self, sender: Hashable, receiver: Hashable,
+                    sender_pos: Sequence[float], receiver_pos: Sequence[float]) -> bool:
+        """Return ``True`` when ``sender`` is in the vicinity of ``receiver``."""
+        raise NotImplementedError
+
+    def link_exists(self, sender: Hashable, receiver: Hashable,
+                    sender_pos: Sequence[float], receiver_pos: Sequence[float]) -> bool:
+        """Deterministic link predicate used to build topology snapshots.
+
+        Defaults to :meth:`in_vicinity`; probabilistic radios override it with
+        their deterministic support (the largest region with non-zero delivery
+        probability) so that topology snapshots are stable.
+        """
+        return self.in_vicinity(sender, receiver, sender_pos, receiver_pos)
+
+
+class UnitDiskRadio(RadioModel):
+    """Symmetric unit-disk radio: delivery iff distance <= ``radio_range``."""
+
+    def __init__(self, radio_range: float):
+        if radio_range <= 0:
+            raise ValueError("radio range must be positive")
+        self.radio_range = float(radio_range)
+
+    def in_vicinity(self, sender, receiver, sender_pos, receiver_pos) -> bool:
+        return distance(sender_pos, receiver_pos) <= self.radio_range
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"UnitDiskRadio(range={self.radio_range})"
+
+
+class AsymmetricRangeRadio(RadioModel):
+    """Per-node transmission range: the link (u -> v) exists iff d(u, v) <= range(u).
+
+    A node with a large range but small-range neighbours produces asymmetric
+    links, which GRP must reject through its triple handshake (paper Section 4.1).
+    """
+
+    def __init__(self, default_range: float,
+                 ranges: Optional[Mapping[Hashable, float]] = None):
+        if default_range <= 0:
+            raise ValueError("default range must be positive")
+        self.default_range = float(default_range)
+        self.ranges = dict(ranges or {})
+
+    def range_of(self, node: Hashable) -> float:
+        """Transmission range of ``node``."""
+        return float(self.ranges.get(node, self.default_range))
+
+    def set_range(self, node: Hashable, value: float) -> None:
+        """Override the transmission range of ``node``."""
+        if value <= 0:
+            raise ValueError("range must be positive")
+        self.ranges[node] = float(value)
+
+    def in_vicinity(self, sender, receiver, sender_pos, receiver_pos) -> bool:
+        return distance(sender_pos, receiver_pos) <= self.range_of(sender)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"AsymmetricRangeRadio(default={self.default_range}, "
+                f"overrides={len(self.ranges)})")
+
+
+class ProbabilisticDiskRadio(RadioModel):
+    """Disk radio with a fading band.
+
+    Delivery is certain up to ``inner_range``, happens with probability
+    ``band_probability`` between ``inner_range`` and ``outer_range``, and never
+    beyond.  Topology snapshots (:meth:`link_exists`) use ``inner_range`` so the
+    graph used by the predicates only contains reliable links.
+    """
+
+    def __init__(self, inner_range: float, outer_range: float,
+                 band_probability: float, rng: Optional[np.random.Generator] = None):
+        if inner_range <= 0 or outer_range < inner_range:
+            raise ValueError("need 0 < inner_range <= outer_range")
+        if not 0.0 <= band_probability <= 1.0:
+            raise ValueError("band_probability must be in [0, 1]")
+        self.inner_range = float(inner_range)
+        self.outer_range = float(outer_range)
+        self.band_probability = float(band_probability)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def in_vicinity(self, sender, receiver, sender_pos, receiver_pos) -> bool:
+        d = distance(sender_pos, receiver_pos)
+        if d <= self.inner_range:
+            return True
+        if d <= self.outer_range:
+            return bool(self._rng.random() < self.band_probability)
+        return False
+
+    def link_exists(self, sender, receiver, sender_pos, receiver_pos) -> bool:
+        return distance(sender_pos, receiver_pos) <= self.inner_range
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ProbabilisticDiskRadio(inner={self.inner_range}, outer={self.outer_range}, "
+                f"p={self.band_probability})")

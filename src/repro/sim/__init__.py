@@ -1,0 +1,22 @@
+"""Discrete-event simulation kernel used by the GRP reproduction."""
+
+from .engine import Event, EventHandle, SimulationError, Simulator
+from .process import Process
+from .randomness import SeedSequenceFactory, derive_seed, substream
+from .timers import OneShotTimer, PeriodicTimer
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "Process",
+    "SeedSequenceFactory",
+    "derive_seed",
+    "substream",
+    "OneShotTimer",
+    "PeriodicTimer",
+    "TraceRecord",
+    "TraceRecorder",
+]

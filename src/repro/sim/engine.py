@@ -1,0 +1,263 @@
+"""Discrete-event simulation kernel.
+
+The GRP protocol (and every other protocol in this repository) runs on top of a
+small, deterministic, seeded discrete-event simulator.  The design follows the
+classic event-list approach:
+
+* the :class:`Simulator` keeps a priority queue of :class:`Event` objects keyed
+  by ``(time, sequence_number)`` so that ties are broken deterministically in
+  scheduling order;
+* callbacks registered with :meth:`Simulator.schedule` are invoked with the
+  simulator clock already advanced to the event time;
+* events can be cancelled through the :class:`EventHandle` returned at
+  scheduling time (cancellation is O(1): the event is flagged and skipped when
+  popped).
+
+The simulator also owns the root random generator (``numpy.random.Generator``)
+from which all stochastic components (mobility, channel loss, jitter) derive
+sub-streams, making every run fully reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional
+
+import numpy as np
+
+__all__ = ["Event", "EventHandle", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used inconsistently (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, seq)``; the payload fields do not take part
+    in comparisons.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Opaque handle allowing cancellation and inspection of a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled activation time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; it will be silently skipped when reached."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the root random generator.  Two simulators created with the
+        same seed and fed the same scheduling sequence produce identical runs.
+    start_time:
+        Initial value of the simulated clock (defaults to ``0.0``).
+    """
+
+    def __init__(self, seed: Optional[int] = None, start_time: float = 0.0):
+        self._now: float = float(start_time)
+        self._queue: List[Event] = []
+        self._counter = itertools.count()
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """Root random generator of the run."""
+        return self._rng
+
+    @property
+    def seed(self) -> Optional[int]:
+        """Seed the simulator was created with (``None`` for entropy-based)."""
+        return self._seed
+
+    @property
+    def processed_events(self) -> int:
+        """Number of (non-cancelled) events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled (including cancelled ones not yet popped)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def spawn_rng(self) -> np.random.Generator:
+        """Create an independent child generator (stable given call order)."""
+        return np.random.default_rng(self._rng.integers(0, 2**63 - 1))
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any,
+                 **kwargs: Any) -> EventHandle:
+        """Schedule ``callback(*args, **kwargs)`` after ``delay`` time units."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any,
+                    **kwargs: Any) -> EventHandle:
+        """Schedule ``callback`` at the absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} which is before current time {self._now}")
+        event = Event(time=float(time), seq=next(self._counter), callback=callback,
+                      args=args, kwargs=kwargs)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel an event previously returned by :meth:`schedule`."""
+        handle.cancel()
+
+    # -------------------------------------------------------------- execution
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args, **event.kwargs)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  Events scheduled exactly
+            at ``until`` are executed.  ``None`` runs until the queue is empty.
+        max_events:
+            Safety bound on the number of executed events.
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = float(until)
+                    break
+                if self.step():
+                    executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def run_until_empty(self, max_events: int = 10_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        return self.run(until=None, max_events=max_events)
+
+    # ------------------------------------------------------------------ misc
+
+    def call_every(self, interval: float, callback: Callable[..., Any], *args: Any,
+                   start: Optional[float] = None, **kwargs: Any) -> EventHandle:
+        """Schedule ``callback`` periodically every ``interval`` time units.
+
+        The returned handle cancels the *next* occurrence only; use a
+        :class:`repro.sim.timers.PeriodicTimer` for richer control.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        first = self._now + (interval if start is None else max(0.0, start - self._now))
+
+        state = {"handle": None, "stopped": False}
+
+        def _fire() -> None:
+            if state["stopped"]:
+                return
+            callback(*args, **kwargs)
+            state["handle"] = self.schedule(interval, _fire)
+
+        state["handle"] = self.schedule_at(first, _fire)
+
+        class _PeriodicHandle(EventHandle):
+            def __init__(self):  # noqa: D401 - thin wrapper
+                pass
+
+            @property
+            def time(self) -> float:
+                return state["handle"].time if state["handle"] else float("nan")
+
+            @property
+            def cancelled(self) -> bool:
+                return state["stopped"]
+
+            def cancel(self) -> None:
+                state["stopped"] = True
+                if state["handle"] is not None:
+                    state["handle"].cancel()
+
+        return _PeriodicHandle()
+
+    def drain(self) -> Iterable[Event]:
+        """Remove and return every pending event (used by tests)."""
+        events = [e for e in self._queue if not e.cancelled]
+        self._queue.clear()
+        return events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Simulator(now={self._now:.3f}, pending={self.pending_events}, "
+                f"processed={self._processed})")

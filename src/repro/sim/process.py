@@ -1,0 +1,99 @@
+"""Base class for simulated protocol processes.
+
+A :class:`Process` is anything that lives on a node of the network and reacts
+to events: message receptions, timer expirations, activation / deactivation
+(churn).  The GRP node (:class:`repro.core.node.GRPNode`) and the baseline
+clustering processes all derive from it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from .engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import Network
+
+__all__ = ["Process"]
+
+
+class Process:
+    """A protocol instance attached to one network node.
+
+    Subclasses override the ``on_*`` hooks.  The network calls
+    :meth:`deliver` when a broadcast reaches the node; the process sends
+    messages through ``self.network.broadcast(self.node_id, payload)``.
+    """
+
+    def __init__(self, node_id: Any):
+        self.node_id = node_id
+        self.sim: Optional[Simulator] = None
+        self.network: Optional["Network"] = None
+        self._active = True
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def bind(self, sim: Simulator, network: "Network") -> None:
+        """Attach the process to a simulator and a network (called by the network)."""
+        self.sim = sim
+        self.network = network
+
+    def start(self) -> None:
+        """Start the process (idempotent); calls :meth:`on_start` once."""
+        if self._started:
+            return
+        if self.sim is None:
+            raise RuntimeError("process must be bound to a simulator before starting")
+        self._started = True
+        self.on_start()
+
+    @property
+    def active(self) -> bool:
+        """Whether the node is currently active (powered on)."""
+        return self._active
+
+    def activate(self) -> None:
+        """Turn the node on (churn support)."""
+        if not self._active:
+            self._active = True
+            self.on_activate()
+
+    def deactivate(self) -> None:
+        """Turn the node off; an inactive node neither sends nor receives."""
+        if self._active:
+            self._active = False
+            self.on_deactivate()
+
+    # ----------------------------------------------------------------- hooks
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts."""
+
+    def on_activate(self) -> None:
+        """Called when the node transitions from inactive to active."""
+
+    def on_deactivate(self) -> None:
+        """Called when the node transitions from active to inactive."""
+
+    def on_message(self, sender: Any, payload: Any) -> None:
+        """Called when a broadcast from ``sender`` is received."""
+
+    # ------------------------------------------------------------- transport
+
+    def deliver(self, sender: Any, payload: Any) -> None:
+        """Entry point used by the network; ignores messages while inactive."""
+        if self._active:
+            self.on_message(sender, payload)
+
+    def broadcast(self, payload: Any) -> int:
+        """Broadcast ``payload`` to the current vicinity; returns receiver count."""
+        if not self._active:
+            return 0
+        if self.network is None:
+            raise RuntimeError("process is not attached to a network")
+        return self.network.broadcast(self.node_id, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(node_id={self.node_id!r}, active={self._active})"

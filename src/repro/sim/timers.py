@@ -1,0 +1,153 @@
+"""Timer helpers built on top of the simulation kernel.
+
+The GRP protocol drives everything with two timers per node (the computation
+timer ``Tc`` with period τ1 and the send timer ``Ts`` with period τ2 ≤ τ1, see
+paper Section 4.3).  :class:`PeriodicTimer` models such timers, including an
+optional uniform jitter which desynchronizes nodes — exactly what happens on
+real radios and what the fair-channel hypothesis of the paper tolerates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .engine import EventHandle, SimulationError, Simulator
+
+__all__ = ["OneShotTimer", "PeriodicTimer"]
+
+
+class OneShotTimer:
+    """A restartable one-shot timer.
+
+    ``start`` schedules the callback after ``duration``; ``restart`` cancels any
+    pending expiration and schedules a fresh one (this mirrors ``restart timer``
+    in the paper's pseudo-code).
+    """
+
+    def __init__(self, sim: Simulator, duration: float, callback: Callable[[], None]):
+        if duration <= 0:
+            raise SimulationError("timer duration must be positive")
+        self._sim = sim
+        self._duration = float(duration)
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def duration(self) -> float:
+        """Configured expiration delay."""
+        return self._duration
+
+    @duration.setter
+    def duration(self, value: float) -> None:
+        if value <= 0:
+            raise SimulationError("timer duration must be positive")
+        self._duration = float(value)
+
+    @property
+    def pending(self) -> bool:
+        """Whether an expiration is currently scheduled."""
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self) -> None:
+        """Schedule (or reschedule) the expiration after ``duration``."""
+        self.restart()
+
+    def restart(self) -> None:
+        """Cancel any pending expiration and schedule a new one."""
+        self.cancel()
+        self._handle = self._sim.schedule(self._duration, self._fire)
+
+    def cancel(self) -> None:
+        """Cancel the pending expiration, if any."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """A periodic timer with optional per-period jitter.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    period:
+        Nominal period between expirations.
+    callback:
+        Invoked (without arguments) at each expiration.
+    jitter:
+        If > 0, each period is drawn uniformly from
+        ``[period * (1 - jitter), period * (1 + jitter)]``.
+    rng:
+        Random generator used for jitter (defaults to the simulator's root rng).
+    phase:
+        Delay before the first expiration.  Defaults to one (jittered) period.
+    """
+
+    def __init__(self, sim: Simulator, period: float, callback: Callable[[], None],
+                 jitter: float = 0.0, rng: Optional[np.random.Generator] = None,
+                 phase: Optional[float] = None):
+        if period <= 0:
+            raise SimulationError("timer period must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise SimulationError("jitter must be in [0, 1)")
+        self._sim = sim
+        self._period = float(period)
+        self._callback = callback
+        self._jitter = float(jitter)
+        self._rng = rng if rng is not None else sim.rng
+        self._phase = phase
+        self._handle: Optional[EventHandle] = None
+        self._running = False
+        self._expirations = 0
+
+    @property
+    def period(self) -> float:
+        """Nominal period."""
+        return self._period
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is active."""
+        return self._running
+
+    @property
+    def expirations(self) -> int:
+        """Number of expirations fired so far."""
+        return self._expirations
+
+    def _next_delay(self) -> float:
+        if self._jitter == 0.0:
+            return self._period
+        low = self._period * (1.0 - self._jitter)
+        high = self._period * (1.0 + self._jitter)
+        return float(self._rng.uniform(low, high))
+
+    def start(self) -> None:
+        """Start the timer (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        delay = self._phase if self._phase is not None else self._next_delay()
+        self._handle = self._sim.schedule(max(0.0, delay), self._fire)
+
+    def stop(self) -> None:
+        """Stop the timer; pending expirations are cancelled."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._expirations += 1
+        self._callback()
+        if self._running:
+            self._handle = self._sim.schedule(self._next_delay(), self._fire)

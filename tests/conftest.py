@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ancestor_list import AncestorList
+from repro.core.identity import Mark
+from repro.core.node import GRPConfig, GRPNode
+from repro.sim.engine import Simulator
+
+
+def alist(*levels):
+    """Build an unmarked :class:`AncestorList` from plain iterables of node ids."""
+    return AncestorList.from_levels(levels)
+
+
+def marked(levels):
+    """Build an :class:`AncestorList` from ``{node: mark}`` dicts."""
+    return AncestorList(tuple({n: Mark(m) for n, m in level.items()} for level in levels))
+
+
+@pytest.fixture
+def simulator():
+    """A fresh, seeded simulator."""
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def grp_config():
+    """A default GRP configuration with Dmax = 3."""
+    return GRPConfig(dmax=3)
+
+
+@pytest.fixture
+def standalone_node(grp_config):
+    """A GRP node not attached to any network (used for compute() unit tests)."""
+    return GRPNode("v", grp_config)

@@ -1,0 +1,121 @@
+"""Unit tests for the clustering baselines."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.base import clusters_from_heads, partition_to_views
+from repro.baselines.kclustering import KHopClustering
+from repro.baselines.lowest_id import LowestIdClustering
+from repro.baselines.maxmin import MaxMinDCluster
+from repro.core.predicates import agreement
+from repro.net.topology import subgraph_diameter
+
+
+def random_geometric(n, radius, seed):
+    return nx.random_geometric_graph(n, radius, seed=seed)
+
+
+ALGORITHMS = [LowestIdClustering(), MaxMinDCluster(), KHopClustering()]
+
+
+class TestHelpers:
+    def test_clusters_from_heads(self):
+        g = nx.path_graph(3)
+        views = clusters_from_heads(g, {0: 0, 1: 0, 2: 2})
+        assert views[0] == frozenset({0, 1})
+        assert views[2] == frozenset({2})
+
+    def test_partition_to_views(self):
+        views = partition_to_views([{1, 2}, {3}])
+        assert views[1] == frozenset({1, 2})
+        assert views[3] == frozenset({3})
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_every_node_is_assigned_and_views_agree(self, algorithm):
+        g = random_geometric(25, 0.35, seed=1)
+        views = algorithm.partition(g, dmax=4)
+        assert set(views) == set(g.nodes)
+        assert agreement(views)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_cluster_members_stay_within_dmax_in_the_graph(self, algorithm):
+        # Clusterhead algorithms bound the distance to the head measured in the
+        # full graph (routes may pass through other clusters), so the bound is
+        # checked on full-graph distances rather than on the induced subgraph.
+        g = random_geometric(25, 0.35, seed=2)
+        dmax = 4
+        views = algorithm.partition(g, dmax=dmax)
+        lengths = dict(nx.all_pairs_shortest_path_length(g))
+        for group in set(views.values()):
+            members = list(group)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    assert lengths[u].get(v, float("inf")) <= dmax
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_empty_graph(self, algorithm):
+        assert algorithm.partition(nx.Graph(), dmax=2) == {}
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_invalid_dmax_rejected(self, algorithm):
+        with pytest.raises(ValueError):
+            algorithm.partition(nx.path_graph(3), dmax=0)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.name)
+    def test_deterministic(self, algorithm):
+        g = random_geometric(20, 0.3, seed=3)
+        assert algorithm.partition(g, dmax=4) == algorithm.partition(g, dmax=4)
+
+
+class TestLowestId:
+    def test_head_is_smallest_identifier(self):
+        g = nx.path_graph(3)  # 0-1-2
+        views = LowestIdClustering().partition(g, dmax=2)
+        assert views[0] == frozenset({0, 1})
+        assert views[2] == frozenset({2})
+
+
+class TestMaxMin:
+    def test_isolated_nodes_become_their_own_cluster(self):
+        g = nx.Graph()
+        g.add_nodes_from([1, 2])
+        views = MaxMinDCluster().partition(g, dmax=2)
+        assert views[1] == frozenset({1})
+        assert views[2] == frozenset({2})
+
+    def test_custom_d_parameter(self):
+        g = nx.path_graph(7)
+        views = MaxMinDCluster(d=3).partition(g, dmax=6)
+        assert set(views) == set(g.nodes)
+
+
+class TestKHop:
+    def test_star_graph_single_cluster(self):
+        g = nx.star_graph(6)
+        views = KHopClustering().partition(g, dmax=2)
+        assert len(set(views.values())) == 1
+
+
+class TestPeriodicDriver:
+    def test_driver_recomputes_on_schedule(self):
+        from repro.baselines.periodic import PeriodicClusteringDriver
+        from repro.net.network import Network
+        from repro.net.radio import UnitDiskRadio
+        from repro.sim.engine import Simulator
+        from repro.sim.process import Process
+
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=UnitDiskRadio(10.0))
+        for node, pos in {"a": (0, 0), "b": (5, 0), "c": (50, 0)}.items():
+            network.add_node(Process(node), pos)
+        driver = PeriodicClusteringDriver(sim, network, LowestIdClustering(), dmax=2,
+                                          period=1.0)
+        driver.start()
+        assert driver.views()["a"] == frozenset({"a", "b"})
+        network.set_position("b", (100, 0))
+        sim.run(until=1.5)
+        assert driver.views()["a"] == frozenset({"a"})
+        assert driver.recomputations >= 2
+        driver.stop()

@@ -1,0 +1,136 @@
+"""Unit tests for goodList and compatibleList."""
+
+import pytest
+
+from repro.core.ancestor_list import AncestorList
+from repro.core.checks import compatible_list, good_list, group_span, merged_pair_bound
+from repro.core.identity import Mark
+
+from conftest import alist, marked
+
+
+class TestGoodList:
+    def test_accepts_handshaked_list(self):
+        # Sender u advertises v among its direct neighbours.
+        lst = alist({"u"}, {"v", "w"})
+        assert good_list(lst, "v", dmax=3)
+
+    def test_accepts_marked_receiver_at_level_one(self):
+        lst = marked([{"u": 0}, {"v": 1}])
+        assert good_list(lst, "v", dmax=3)
+
+    def test_accepts_receiver_known_deeper_unmarked(self):
+        # Section 4.1 prose: the list "contains v" — alternate-path knowledge.
+        lst = alist({"u"}, {"w"}, {"v"})
+        assert good_list(lst, "v", dmax=3)
+
+    def test_rejects_list_without_receiver(self):
+        assert not good_list(alist({"u"}), "v", dmax=3)
+        assert not good_list(alist({"u"}, {"w"}), "v", dmax=3)
+
+    def test_rejects_too_long_list(self):
+        lst = alist({"u"}, {"v"}, {"a"}, {"b"}, {"c"})
+        assert not good_list(lst, "v", dmax=3)
+        assert good_list(lst, "v", dmax=4)
+
+    def test_rejects_empty_level(self):
+        lst = AncestorList(({"u": Mark.NONE}, {"v": Mark.NONE}, {}, {"w": Mark.NONE}))
+        assert not good_list(lst, "v", dmax=5)
+
+    def test_rejects_receiver_only_double_marked_deep(self):
+        lst = marked([{"u": 0}, {"w": 0}, {"v": 2}])
+        assert not good_list(lst, "v", dmax=3)
+
+
+class TestMergedPairBound:
+    def test_route_through_both_nodes(self):
+        pos_local = {"x": 2, "v": 0}
+        pos_recv = {"y": 1, "u": 0}
+        assert merged_pair_bound(pos_local, pos_recv, "x", "y") == 4
+
+    def test_route_through_local_list_only(self):
+        pos_local = {"x": 2, "y": 1}
+        pos_recv = {"y": 3}
+        assert merged_pair_bound(pos_local, pos_recv, "x", "y") == 3
+
+    def test_unknown_positions_give_infinity(self):
+        assert merged_pair_bound({}, {}, "x", "y") == float("inf")
+
+
+class TestCompatibleList:
+    def test_two_singletons_always_compatible(self):
+        local = AncestorList.singleton("v")
+        received = alist({"u"}, {"v"})
+        assert compatible_list(local, received, "v", dmax=1)
+
+    def test_adjacent_node_joining_small_group(self):
+        # Group {v, a} (diameter 1), newcomer u adjacent to v only, Dmax=2:
+        # union diameter 2 -> compatible.
+        local = alist({"v"}, {"a"})
+        received = alist({"u"}, {"v"})
+        assert compatible_list(local, received, "v", dmax=2,
+                               local_members={"v", "a"}, sender_members={"u"})
+
+    def test_rejects_when_chain_would_exceed_dmax(self):
+        # Group {v, a} with d(v, a)=1, newcomer u adjacent to v only, Dmax=1:
+        # a-v-u has diameter 2 -> incompatible.
+        local = alist({"v"}, {"a"})
+        received = alist({"u"}, {"v"})
+        assert not compatible_list(local, received, "v", dmax=1,
+                                   local_members={"v", "a"}, sender_members={"u"})
+
+    def test_shortcut_through_pairwise_knowledge(self):
+        # v's group is {v, a} with a at distance 2.  The sender u brings member
+        # b, but v already knows b at distance 1 (a shortcut the whole-span test
+        # ignores): d(a, b) <= 2 + 1 = 3, so the merge fits Dmax = 3.
+        local = alist({"v"}, {"b"}, {"a"})
+        received = alist({"u"}, {"v", "b"})
+        assert compatible_list(local, received, "v", dmax=3,
+                               local_members={"v", "a"}, sender_members={"u", "b"})
+
+    def test_naive_variant_rejects_shortcut_case(self):
+        local = alist({"v"}, {"b"}, {"a"})
+        received = alist({"u"}, {"v", "b"})
+        assert not compatible_list(local, received, "v", dmax=3, optimized=False,
+                                   local_members={"v", "a"}, sender_members={"u", "b"})
+
+    def test_two_established_groups_merge_when_total_span_fits(self):
+        # {v, a} and {u, b} in a chain a-v-u-b with Dmax=3.
+        local = alist({"v"}, {"a"})
+        received = alist({"u"}, {"v", "b"})
+        assert compatible_list(local, received, "v", dmax=3,
+                               local_members={"v", "a"}, sender_members={"u", "b"})
+
+    def test_two_established_groups_rejected_when_too_long(self):
+        local = alist({"v"}, {"a"})
+        received = alist({"u"}, {"v", "b"})
+        assert not compatible_list(local, received, "v", dmax=2,
+                                   local_members={"v", "a"}, sender_members={"u", "b"})
+
+    def test_overlapping_views_are_compatible(self):
+        # Sender's exclusive members are already all in the local view.
+        local = alist({"v"}, {"u", "a"})
+        received = alist({"u"}, {"v", "a"})
+        assert compatible_list(local, received, "v", dmax=1,
+                               local_members={"v", "u", "a"}, sender_members={"u", "a"})
+
+    def test_defaults_use_list_content_when_views_not_given(self):
+        local = alist({"v"}, {"a"})
+        received = alist({"u"}, {"v"}, {"b"})
+        assert compatible_list(local, received, "v", dmax=4)
+        assert not compatible_list(local, received, "v", dmax=2)
+
+
+class TestGroupSpan:
+    def test_span_of_restricted_members(self):
+        lst = alist({"v"}, {"a", "x"}, {"b"})
+        assert group_span(lst, members={"v", "b"}) == 2
+        assert group_span(lst, members={"v"}) == 0
+        assert group_span(lst) == 2
+
+    def test_span_excludes_requested_nodes(self):
+        lst = alist({"v"}, {"a"}, {"b"})
+        assert group_span(lst, exclude={"b"}) == 1
+
+    def test_span_of_empty_restriction_is_zero(self):
+        assert group_span(alist({"v"}), members=set()) == 0

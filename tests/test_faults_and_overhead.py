@@ -1,0 +1,70 @@
+"""Tests for fault injection and overhead measurement on live deployments."""
+
+import pytest
+
+from repro.core.node import GRPConfig
+from repro.core.protocol import build_grp_network
+from repro.metrics.overhead import overhead_summary
+from repro.net.faults import FaultInjector
+
+
+def small_deployment(seed=0):
+    positions = {0: (0.0, 0.0), 1: (40.0, 0.0), 2: (80.0, 0.0)}
+    return build_grp_network(positions, GRPConfig(dmax=2), radio_range=50.0, seed=seed)
+
+
+class TestFaultInjector:
+    def test_ghost_injection_and_eventual_cleanup(self):
+        deployment = small_deployment()
+        deployment.run(20.0)
+        injector = FaultInjector(deployment.network, rng=deployment.sim.spawn_rng())
+        injector.inject_ghost_identity(0, "ghost", position=1)
+        assert deployment.node(0).alist.contains("ghost")
+        deployment.run(15.0)
+        assert not any(node.alist.contains("ghost") for node in deployment.nodes.values())
+        assert injector.injected == 1
+
+    def test_oversized_list_is_trimmed(self):
+        deployment = small_deployment()
+        deployment.run(10.0)
+        injector = FaultInjector(deployment.network)
+        injector.oversized_list(1, extra_ids=["g1", "g2", "g3", "g4"])
+        assert len(deployment.node(1).alist) > deployment.config.dmax + 1
+        deployment.run(10.0)
+        assert len(deployment.node(1).alist) <= deployment.config.dmax + 1
+
+    def test_view_and_priority_corruption_recovers(self):
+        deployment = small_deployment()
+        deployment.run(20.0)
+        injector = FaultInjector(deployment.network)
+        injector.corrupt_view(0, fake_members={"nobody"})
+        injector.corrupt_priority(0, value=500)
+        deployment.run(20.0)
+        assert "nobody" not in deployment.node(0).current_view()
+
+    def test_random_memory_corruption_selects_fraction(self):
+        deployment = small_deployment()
+        deployment.run(5.0)
+        injector = FaultInjector(deployment.network, rng=deployment.sim.spawn_rng())
+        corrupted = injector.random_memory_corruption(fraction=0.5, ghost_pool=["g"])
+        assert 1 <= len(corrupted) <= 2
+        with pytest.raises(ValueError):
+            injector.random_memory_corruption(fraction=0.0)
+
+
+class TestOverhead:
+    def test_overhead_summary_counts_messages(self):
+        deployment = small_deployment()
+        deployment.run(20.0)
+        summary = overhead_summary(deployment, duration=20.0)
+        assert summary.node_count == 3
+        assert summary.messages_sent > 0
+        assert summary.messages_per_node_per_second > 0
+        assert summary.mean_payload_slots > 0
+        row = summary.as_row()
+        assert row["nodes"] == 3
+
+    def test_overhead_requires_positive_duration(self):
+        deployment = small_deployment()
+        with pytest.raises(ValueError):
+            overhead_summary(deployment, duration=0.0)

@@ -1,0 +1,18 @@
+"""Unit tests for marks and priority keys."""
+
+from repro.core.identity import Mark, priority_key
+
+
+def test_mark_ordering():
+    assert Mark.NONE < Mark.SINGLE < Mark.DOUBLE
+
+
+def test_only_unmarked_identities_are_propagatable():
+    assert Mark.NONE.propagatable
+    assert not Mark.SINGLE.propagatable
+    assert not Mark.DOUBLE.propagatable
+
+
+def test_priority_key_total_order_over_mixed_ids():
+    keys = [priority_key(0, 10), priority_key(0, 2), priority_key(1, 1)]
+    assert sorted(keys) == [priority_key(0, 10), priority_key(0, 2), priority_key(1, 1)]

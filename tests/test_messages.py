@@ -1,0 +1,45 @@
+"""Unit tests for the GRP wire messages."""
+
+from repro.core.ancestor_list import AncestorList
+from repro.core.identity import priority_key
+from repro.core.messages import GRPMessage
+
+from conftest import alist
+
+
+class TestGRPMessage:
+    def test_build_and_decode_roundtrip(self):
+        lst = alist({"u"}, {"v", "w"})
+        msg = GRPMessage.build("u", lst, priorities={"u": 1, "v": 2},
+                               group_priority=priority_key(1, "u"),
+                               view=frozenset({"u", "v"}))
+        assert msg.sender == "u"
+        assert msg.ancestor_list == lst
+        assert msg.priority_map == {"u": 1, "v": 2}
+        assert msg.view_set == frozenset({"u", "v"})
+        assert msg.group_priority == priority_key(1, "u")
+
+    def test_default_view_is_sender_singleton(self):
+        msg = GRPMessage.build("u", AncestorList.singleton("u"), priorities={"u": 0})
+        assert msg.view_set == frozenset({"u"})
+
+    def test_messages_are_hashable_and_comparable(self):
+        lst = alist({"u"}, {"v"})
+        m1 = GRPMessage.build("u", lst, priorities={"u": 1})
+        m2 = GRPMessage.build("u", lst, priorities={"u": 1})
+        assert m1 == m2
+        assert hash(m1) == hash(m2)
+
+    def test_size_estimate_counts_slots(self):
+        lst = alist({"u"}, {"v", "w"})
+        msg = GRPMessage.build("u", lst, priorities={"u": 1, "v": 2},
+                               group_priority=priority_key(1, "u"),
+                               view=frozenset({"u", "v"}))
+        # 3 list slots + 2 priorities + 2 view members + 1 group priority
+        assert msg.size_estimate() == 8
+
+    def test_priorities_sorted_deterministically(self):
+        lst = alist({"u"})
+        m1 = GRPMessage.build("u", lst, priorities={"b": 2, "a": 1})
+        m2 = GRPMessage.build("u", lst, priorities={"a": 1, "b": 2})
+        assert m1.priorities == m2.priorities

@@ -1,0 +1,152 @@
+"""Unit tests for the mobility models and churn schedules."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.churn import ChurnEvent, ChurnSchedule, random_churn_schedule
+from repro.mobility.highway import HighwayMobility
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.rpgm import ReferencePointGroupMobility
+from repro.mobility.static import StaticMobility
+from repro.net.geometry import distance
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestStatic:
+    def test_positions_never_change(self):
+        model = StaticMobility()
+        positions = {"a": (1.0, 2.0)}
+        assert model.step(positions, 10.0) == positions
+
+
+class TestRandomWaypoint:
+    def test_nodes_stay_in_area(self):
+        model = RandomWaypointMobility((100, 100), 1.0, 5.0, rng=rng())
+        positions = model.initial_positions(range(10))
+        for _ in range(50):
+            positions = model.step(positions, 1.0)
+        assert all(0 <= x <= 100 and 0 <= y <= 100 for x, y in positions.values())
+
+    def test_speed_bounds_respected(self):
+        model = RandomWaypointMobility((200, 200), 2.0, 2.0, rng=rng())
+        positions = model.initial_positions(range(5))
+        new_positions = model.step(positions, 1.0)
+        for node in positions:
+            assert distance(positions[node], new_positions[node]) <= 2.0 + 1e-9
+
+    def test_pause_keeps_node_still(self):
+        model = RandomWaypointMobility((10, 10), 100.0, 100.0, pause_time=5.0, rng=rng())
+        positions = {"a": (5.0, 5.0)}
+        # First step reaches the destination (speed is huge), then pauses.
+        positions = model.step(positions, 1.0)
+        paused = model.step(positions, 1.0)
+        assert paused == positions
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility((10, 10), 5.0, 1.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility((10, 10), 1.0, 2.0, pause_time=-1.0)
+
+
+class TestRandomWalk:
+    def test_nodes_reflected_inside_area(self):
+        model = RandomWalkMobility((50, 50), speed=10.0, turn_interval=2.0, rng=rng())
+        positions = model.initial_positions(range(8))
+        for _ in range(40):
+            positions = model.step(positions, 1.0)
+        assert all(0 <= x <= 50 and 0 <= y <= 50 for x, y in positions.values())
+
+    def test_zero_speed_stays_put(self):
+        model = RandomWalkMobility((50, 50), speed=0.0, rng=rng())
+        positions = {"a": (10.0, 10.0)}
+        assert model.step(positions, 1.0) == positions
+
+
+class TestHighway:
+    def test_vehicles_advance_along_road(self):
+        model = HighwayMobility(road_length=1000.0, lane_count=2, base_speed=20.0,
+                                lane_change_probability=0.0, rng=rng())
+        positions = model.initial_positions(range(6), spacing=50.0)
+        moved = model.step(positions, 1.0)
+        for node in positions:
+            delta = (moved[node][0] - positions[node][0]) % 1000.0
+            assert 15.0 <= delta <= 35.0
+
+    def test_positions_wrap_around_road(self):
+        model = HighwayMobility(road_length=100.0, lane_count=1, base_speed=30.0,
+                                speed_jitter=0.0, rng=rng())
+        positions = {"a": (90.0, 0.0)}
+        model._states.clear()
+        moved = model.step(positions, 1.0)
+        assert 0 <= moved["a"][0] < 100.0
+
+    def test_lane_change_updates_y(self):
+        model = HighwayMobility(road_length=1000.0, lane_count=3, lane_spacing=4.0,
+                                lane_change_probability=1.0, rng=rng())
+        positions = model.initial_positions(range(4), spacing=50.0)
+        moved = model.step(positions, 1.0)
+        assert all(y % 4.0 == pytest.approx(0.0) for _, y in moved.values())
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            HighwayMobility(road_length=0)
+        with pytest.raises(ValueError):
+            HighwayMobility(road_length=10, lane_count=0)
+        with pytest.raises(ValueError):
+            HighwayMobility(road_length=10, lane_speeds=[1.0], lane_count=2)
+
+
+class TestRPGM:
+    def test_members_stay_near_group_centre(self):
+        groups = [list(range(0, 5)), list(range(5, 10))]
+        model = ReferencePointGroupMobility((500, 500), groups, group_speed=5.0,
+                                            member_radius=20.0, rng=rng())
+        positions = model.initial_positions(range(10))
+        for _ in range(20):
+            positions = model.step(positions, 1.0)
+        # Members of the same mobility group stay reasonably close together.
+        for group in groups:
+            xs = [positions[n][0] for n in group]
+            ys = [positions[n][1] for n in group]
+            assert max(xs) - min(xs) <= 120.0
+            assert max(ys) - min(ys) <= 120.0
+        assert model.group_index_of(0) == 0
+        assert model.group_index_of(7) == 1
+
+    def test_requires_at_least_one_group(self):
+        with pytest.raises(ValueError):
+            ReferencePointGroupMobility((10, 10), [])
+
+
+class TestChurn:
+    def test_schedule_applies_events(self, simulator):
+        from repro.net.network import Network
+        from repro.net.radio import UnitDiskRadio
+        from repro.sim.process import Process
+        network = Network(simulator, radio=UnitDiskRadio(10.0))
+        network.add_node(Process("a"), (0, 0))
+        schedule = ChurnSchedule([ChurnEvent(1.0, "a", False), ChurnEvent(2.0, "a", True),
+                                  ChurnEvent(3.0, "ghost", False)])
+        schedule.install(network)
+        simulator.run(until=1.5)
+        assert not network.process("a").active
+        simulator.run(until=2.5)
+        assert network.process("a").active
+        simulator.run()
+        assert schedule.applied == 2  # the ghost event is ignored
+
+    def test_random_schedule_is_sorted_and_bounded(self):
+        schedule = random_churn_schedule(range(5), duration=100.0, off_rate=0.05,
+                                         mean_off_time=10.0, rng=rng(), start=10.0)
+        times = [e.time for e in schedule.events]
+        assert times == sorted(times)
+        assert all(10.0 <= t < 100.0 for t in times)
+
+    def test_random_schedule_parameter_validation(self):
+        with pytest.raises(ValueError):
+            random_churn_schedule(range(2), 10.0, off_rate=-1.0, mean_off_time=1.0)

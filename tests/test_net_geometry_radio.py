@@ -1,0 +1,100 @@
+"""Unit tests for geometry helpers and radio models."""
+
+import numpy as np
+import pytest
+
+from repro.net.geometry import (bounding_box, clamp_to_area, distance, distances_from,
+                                grid_positions, line_positions, pairwise_distances,
+                                random_positions)
+from repro.net.radio import AsymmetricRangeRadio, ProbabilisticDiskRadio, UnitDiskRadio
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_distances_from(self):
+        out = distances_from((0, 0), {"a": (1, 0), "b": (0, 2)})
+        assert out == {"a": pytest.approx(1.0), "b": pytest.approx(2.0)}
+
+    def test_pairwise_distances_symmetric_keys(self):
+        out = pairwise_distances({"a": (0, 0), "b": (3, 4)})
+        assert len(out) == 1
+        assert list(out.values())[0] == pytest.approx(5.0)
+
+    def test_random_positions_within_area(self):
+        rng = np.random.default_rng(0)
+        positions = random_positions(range(50), (100.0, 60.0), rng)
+        assert len(positions) == 50
+        assert all(0 <= x <= 100 and 0 <= y <= 60 for x, y in positions.values())
+
+    def test_random_positions_reproducible(self):
+        a = random_positions(range(5), (10, 10), np.random.default_rng(3))
+        b = random_positions(range(5), (10, 10), np.random.default_rng(3))
+        assert a == b
+
+    def test_grid_positions(self):
+        positions = grid_positions(range(6), spacing=2.0, columns=3)
+        assert positions[0] == (0.0, 0.0)
+        assert positions[4] == (2.0, 2.0)
+        with pytest.raises(ValueError):
+            grid_positions(range(3), spacing=1.0, columns=0)
+
+    def test_line_positions(self):
+        positions = line_positions(["a", "b"], spacing=5.0, origin=(1.0, 2.0))
+        assert positions["b"] == (6.0, 2.0)
+
+    def test_clamp_and_bounding_box(self):
+        assert clamp_to_area((-5, 200), (100, 100)) == (0.0, 100.0)
+        assert bounding_box({"a": (1, 2), "b": (5, -1)}) == ((1, -1), (5, 2))
+        assert bounding_box({}) == ((0.0, 0.0), (0.0, 0.0))
+
+
+class TestUnitDiskRadio:
+    def test_within_and_beyond_range(self):
+        radio = UnitDiskRadio(10.0)
+        assert radio.in_vicinity("a", "b", (0, 0), (0, 10))
+        assert not radio.in_vicinity("a", "b", (0, 0), (0, 10.1))
+
+    def test_rejects_non_positive_range(self):
+        with pytest.raises(ValueError):
+            UnitDiskRadio(0)
+
+
+class TestAsymmetricRadio:
+    def test_per_node_ranges_create_asymmetric_links(self):
+        radio = AsymmetricRangeRadio(default_range=10.0, ranges={"big": 50.0})
+        assert radio.in_vicinity("big", "small", (0, 0), (30, 0))
+        assert not radio.in_vicinity("small", "big", (30, 0), (0, 0))
+
+    def test_set_range(self):
+        radio = AsymmetricRangeRadio(default_range=10.0)
+        radio.set_range("a", 20.0)
+        assert radio.range_of("a") == 20.0
+        with pytest.raises(ValueError):
+            radio.set_range("a", -1.0)
+
+
+class TestProbabilisticRadio:
+    def test_inner_range_always_delivers(self):
+        radio = ProbabilisticDiskRadio(10.0, 20.0, 0.0, rng=np.random.default_rng(0))
+        assert radio.in_vicinity("a", "b", (0, 0), (5, 0))
+        assert not radio.in_vicinity("a", "b", (0, 0), (15, 0))
+        assert not radio.in_vicinity("a", "b", (0, 0), (25, 0))
+
+    def test_band_probability(self):
+        radio = ProbabilisticDiskRadio(10.0, 20.0, 1.0, rng=np.random.default_rng(0))
+        assert radio.in_vicinity("a", "b", (0, 0), (15, 0))
+
+    def test_link_exists_uses_inner_range(self):
+        radio = ProbabilisticDiskRadio(10.0, 20.0, 1.0)
+        assert radio.link_exists("a", "b", (0, 0), (9, 0))
+        assert not radio.link_exists("a", "b", (0, 0), (15, 0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProbabilisticDiskRadio(0, 10, 0.5)
+        with pytest.raises(ValueError):
+            ProbabilisticDiskRadio(10, 5, 0.5)
+        with pytest.raises(ValueError):
+            ProbabilisticDiskRadio(5, 10, 1.5)

@@ -1,0 +1,127 @@
+"""Integration-ish tests for the Network broadcast substrate."""
+
+import pytest
+
+from repro.net.channel import LossyChannel, PerfectChannel
+from repro.net.network import Network
+from repro.net.radio import UnitDiskRadio
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.trace import TraceRecorder
+
+
+class Echo(Process):
+    """Test process recording everything it receives."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.inbox = []
+
+    def on_message(self, sender, payload):
+        self.inbox.append((sender, payload))
+
+
+def build_network(positions, radio_range=10.0, channel=None, trace=None, seed=0):
+    sim = Simulator(seed=seed)
+    network = Network(sim, radio=UnitDiskRadio(radio_range), channel=channel, trace=trace)
+    for node_id, position in positions.items():
+        network.add_node(Echo(node_id), position)
+    return sim, network
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_only_vicinity(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0), "c": (50, 0)})
+        delivered = network.broadcast("a", "hello")
+        sim.run()
+        assert delivered == 1
+        assert network.process("b").inbox == [("a", "hello")]
+        assert network.process("c").inbox == []
+
+    def test_inactive_nodes_neither_send_nor_receive(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.deactivate_node("b")
+        assert network.broadcast("a", "x") == 0
+        network.deactivate_node("a")
+        assert network.broadcast("a", "x") == 0
+        network.activate_node("a")
+        network.activate_node("b")
+        assert network.broadcast("a", "x") == 1
+
+    def test_trace_records_send_and_receive(self):
+        trace = TraceRecorder()
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)}, trace=trace)
+        network.broadcast("a", "x")
+        sim.run()
+        assert trace.count("send") == 1
+        assert trace.count("receive") == 1
+
+    def test_lossy_channel_drops_are_counted(self):
+        channel = LossyChannel(loss_probability=1.0)
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)}, channel=channel)
+        network.broadcast("a", "x")
+        sim.run()
+        assert network.messages_dropped == 1
+        assert network.process("b").inbox == []
+
+    def test_delayed_delivery(self):
+        channel = PerfectChannel(delay=2.0)
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)}, channel=channel)
+        network.broadcast("a", "x")
+        assert network.process("b").inbox == []
+        sim.run()
+        assert sim.now == 2.0
+        assert network.process("b").inbox == [("a", "x")]
+
+
+class TestTopologySnapshots:
+    def test_topology_reflects_positions(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0), "c": (50, 0)})
+        graph = network.topology()
+        assert graph.has_edge("a", "b")
+        assert not graph.has_edge("a", "c")
+        assert network.neighbors_of("a") == {"b"}
+
+    def test_topology_excludes_inactive_nodes(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.deactivate_node("b")
+        assert "b" not in network.topology()
+
+    def test_directed_topology(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        digraph = network.directed_topology()
+        assert digraph.has_edge("a", "b") and digraph.has_edge("b", "a")
+
+    def test_set_position_updates_topology(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.set_position("b", (100, 0))
+        assert not network.topology().has_edge("a", "b")
+        with pytest.raises(KeyError):
+            network.set_position("zzz", (0, 0))
+
+
+class TestNodeManagement:
+    def test_duplicate_node_rejected(self):
+        sim, network = build_network({"a": (0, 0)})
+        with pytest.raises(ValueError):
+            network.add_node(Echo("a"), (1, 1))
+
+    def test_remove_node(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.remove_node("b")
+        assert "b" not in network.node_ids
+        assert network.broadcast("a", "x") == 0
+
+    def test_position_listener_called_on_mobility_step(self):
+        from repro.mobility.static import StaticMobility
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=UnitDiskRadio(10.0), mobility=StaticMobility())
+        network.add_node(Echo("a"), (0, 0))
+        seen = []
+        network.add_position_listener(lambda t, positions: seen.append(t))
+        network.start()
+        sim.run(until=3.5)
+        assert seen == [1.0, 2.0, 3.0]
+        network.stop_mobility()
+        sim.run(until=10.0)
+        assert len(seen) == 3

@@ -1,0 +1,80 @@
+"""Unit tests for priorities (oldness) and group priorities."""
+
+from repro.core.identity import priority_key
+from repro.core.priority import PriorityTable
+
+
+class TestPriorityKey:
+    def test_smaller_oldness_wins(self):
+        assert priority_key(1, "z") < priority_key(2, "a")
+
+    def test_ties_broken_by_identity(self):
+        assert priority_key(3, "a") < priority_key(3, "b")
+
+    def test_key_is_deterministic(self):
+        assert priority_key(5, 42) == priority_key(5, 42)
+
+
+class TestPriorityTable:
+    def test_tick_increments_only_when_alone(self):
+        table = PriorityTable("v", initial=0)
+        table.tick(in_group=False)
+        table.tick(in_group=False)
+        assert table.own_oldness == 2
+        table.tick(in_group=True)
+        assert table.own_oldness == 2
+
+    def test_learn_and_lookup(self):
+        table = PriorityTable("v")
+        table.learn({"a": 5, "b": 2})
+        assert table.oldness_of("a") == 5
+        assert table.oldness_of("b") == 2
+        assert table.oldness_of("unknown") is None
+
+    def test_learn_ignores_own_identity(self):
+        table = PriorityTable("v", initial=1)
+        table.learn({"v": 99})
+        assert table.own_oldness == 1
+
+    def test_key_of_unknown_with_default(self):
+        table = PriorityTable("v")
+        assert table.key_of("x") is None
+        assert table.key_of("x", default_oldness=7) == priority_key(7, "x")
+
+    def test_node_has_priority_over_self(self):
+        table = PriorityTable("v", initial=5)
+        table.learn({"older": 2, "younger": 9})
+        assert table.node_has_priority_over_self("older")
+        assert not table.node_has_priority_over_self("younger")
+        assert not table.node_has_priority_over_self("unknown")
+
+    def test_group_priority_is_min_over_members(self):
+        table = PriorityTable("v", initial=4)
+        table.learn({"a": 2, "b": 7})
+        assert table.group_priority({"v", "a", "b"}) == priority_key(2, "a")
+
+    def test_group_priority_with_extra_overrides(self):
+        table = PriorityTable("v", initial=4)
+        assert table.group_priority({"v", "w"}, extra={"w": 1}) == priority_key(1, "w")
+
+    def test_group_priority_falls_back_to_own_key(self):
+        table = PriorityTable("v", initial=4)
+        assert table.group_priority({"unknown"}) == priority_key(4, "v")
+
+    def test_forget_except(self):
+        table = PriorityTable("v")
+        table.learn({"a": 1, "b": 2, "c": 3})
+        table.forget_except({"a"})
+        assert table.oldness_of("a") == 1
+        assert table.oldness_of("b") is None
+
+    def test_snapshot_includes_owner(self):
+        table = PriorityTable("v", initial=3)
+        table.learn({"a": 1})
+        snap = table.snapshot({"a", "missing"})
+        assert snap == {"a": 1, "v": 3}
+
+    def test_set_own(self):
+        table = PriorityTable("v")
+        table.set_own(17)
+        assert table.own_oldness == 17

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.timers import OneShotTimer, PeriodicTimer
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, simulator):
+        order = []
+        simulator.schedule(2.0, order.append, "b")
+        simulator.schedule(1.0, order.append, "a")
+        simulator.schedule(3.0, order.append, "c")
+        simulator.run()
+        assert order == ["a", "b", "c"]
+        assert simulator.now == 3.0
+
+    def test_ties_break_in_scheduling_order(self, simulator):
+        order = []
+        simulator.schedule(1.0, order.append, 1)
+        simulator.schedule(1.0, order.append, 2)
+        simulator.run()
+        assert order == [1, 2]
+
+    def test_schedule_in_the_past_raises(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule(-1.0, lambda: None)
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        with pytest.raises(SimulationError):
+            simulator.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_event_is_skipped(self, simulator):
+        fired = []
+        handle = simulator.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        simulator.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_run_until_respects_bound(self, simulator):
+        fired = []
+        simulator.schedule(1.0, fired.append, "a")
+        simulator.schedule(5.0, fired.append, "b")
+        simulator.run(until=2.0)
+        assert fired == ["a"]
+        assert simulator.now == 2.0
+        simulator.run()
+        assert fired == ["a", "b"]
+
+    def test_max_events_bound(self, simulator):
+        for i in range(10):
+            simulator.schedule(float(i + 1), lambda: None)
+        executed = simulator.run(max_events=4)
+        assert executed == 4
+        assert simulator.pending_events == 6
+
+    def test_nested_scheduling_from_callbacks(self, simulator):
+        seen = []
+
+        def fire(depth):
+            seen.append(depth)
+            if depth < 3:
+                simulator.schedule(1.0, fire, depth + 1)
+
+        simulator.schedule(1.0, fire, 0)
+        simulator.run()
+        assert seen == [0, 1, 2, 3]
+        assert simulator.now == 4.0
+
+    def test_step_returns_false_when_empty(self, simulator):
+        assert not simulator.step()
+
+    def test_processed_event_counter(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        simulator.run()
+        assert simulator.processed_events == 2
+
+
+class TestPeriodicScheduling:
+    def test_call_every_fires_repeatedly(self, simulator):
+        ticks = []
+        simulator.call_every(1.0, lambda: ticks.append(simulator.now))
+        simulator.run(until=5.5)
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_call_every_cancel(self, simulator):
+        ticks = []
+        handle = simulator.call_every(1.0, lambda: ticks.append(simulator.now))
+        simulator.run(until=2.5)
+        handle.cancel()
+        simulator.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_call_every_requires_positive_interval(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.call_every(0.0, lambda: None)
+
+
+class TestReproducibility:
+    def test_same_seed_same_rng_stream(self):
+        a = Simulator(seed=7).rng.integers(0, 1000, size=5).tolist()
+        b = Simulator(seed=7).rng.integers(0, 1000, size=5).tolist()
+        assert a == b
+
+    def test_spawn_rng_is_deterministic_given_call_order(self):
+        sim1, sim2 = Simulator(seed=3), Simulator(seed=3)
+        assert sim1.spawn_rng().integers(0, 10**6) == sim2.spawn_rng().integers(0, 10**6)
+
+
+class TestTimers:
+    def test_one_shot_timer_fires_once(self, simulator):
+        fired = []
+        timer = OneShotTimer(simulator, 2.0, lambda: fired.append(simulator.now))
+        timer.start()
+        simulator.run()
+        assert fired == [2.0]
+        assert not timer.pending
+
+    def test_one_shot_restart_postpones(self, simulator):
+        fired = []
+        timer = OneShotTimer(simulator, 2.0, lambda: fired.append(simulator.now))
+        timer.start()
+        simulator.schedule(1.0, timer.restart)
+        simulator.run()
+        assert fired == [3.0]
+
+    def test_one_shot_cancel(self, simulator):
+        fired = []
+        timer = OneShotTimer(simulator, 2.0, lambda: fired.append(1))
+        timer.start()
+        timer.cancel()
+        simulator.run()
+        assert fired == []
+
+    def test_periodic_timer_without_jitter(self, simulator):
+        ticks = []
+        timer = PeriodicTimer(simulator, 1.0, lambda: ticks.append(simulator.now))
+        timer.start()
+        simulator.run(until=3.5)
+        timer.stop()
+        assert ticks == [1.0, 2.0, 3.0]
+        assert timer.expirations == 3
+
+    def test_periodic_timer_with_jitter_stays_in_band(self, simulator):
+        times = []
+        timer = PeriodicTimer(simulator, 1.0, lambda: times.append(simulator.now),
+                              jitter=0.2, rng=simulator.rng)
+        timer.start()
+        simulator.run(until=20.0)
+        timer.stop()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(0.8 <= gap <= 1.2 for gap in gaps)
+
+    def test_periodic_timer_stop_prevents_future_fires(self, simulator):
+        ticks = []
+        timer = PeriodicTimer(simulator, 1.0, lambda: ticks.append(simulator.now))
+        timer.start()
+        simulator.run(until=2.5)
+        timer.stop()
+        simulator.run(until=10.0)
+        assert len(ticks) == 2
+
+    def test_invalid_timer_parameters(self, simulator):
+        with pytest.raises(SimulationError):
+            OneShotTimer(simulator, 0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            PeriodicTimer(simulator, -1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            PeriodicTimer(simulator, 1.0, lambda: None, jitter=1.5)
