@@ -78,7 +78,8 @@ def build_grp_network(positions: Mapping[Hashable, Tuple[float, float]],
                       loss_probability: float = 0.0,
                       mobility=None,
                       seed: Optional[int] = None,
-                      trace_categories: Optional[set] = None) -> GRPDeployment:
+                      trace_categories: Optional[set] = None,
+                      use_spatial_index: bool = True) -> GRPDeployment:
     """Build a GRP deployment from node positions.
 
     Parameters
@@ -103,6 +104,9 @@ def build_grp_network(positions: Mapping[Hashable, Tuple[float, float]],
         the mobility model.
     trace_categories:
         Categories stored (not only counted) by the trace recorder.
+    use_spatial_index:
+        Serve neighbour queries from the network's spatial index (default);
+        disable to force the brute-force scans, e.g. for cross-checking runs.
     """
     seeds = SeedSequenceFactory(seed)
     sim = Simulator(seed=seeds.seed_for("simulator"))
@@ -119,7 +123,8 @@ def build_grp_network(positions: Mapping[Hashable, Tuple[float, float]],
         channel.set_rng(seeds.stream("channel"))
     if mobility is not None and hasattr(mobility, "set_rng"):
         mobility.set_rng(seeds.stream("mobility"))
-    network = Network(sim, radio=radio, channel=channel, mobility=mobility, trace=trace)
+    network = Network(sim, radio=radio, channel=channel, mobility=mobility, trace=trace,
+                      use_spatial_index=use_spatial_index)
     nodes: Dict[Hashable, GRPNode] = {}
     for node_id in sorted(positions, key=str):
         node = GRPNode(node_id, config)

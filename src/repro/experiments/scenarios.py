@@ -27,6 +27,8 @@ __all__ = [
     "manet_waypoint",
     "vanet_highway",
     "rpgm_scenario",
+    "large_manet_waypoint",
+    "dense_highway_convoy",
 ]
 
 
@@ -126,6 +128,50 @@ def vanet_highway(n: int, road_length: float, radio_range: float, dmax: int,
     positions = mobility.initial_positions(range(n), spacing=spacing)
     return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
                              loss_probability=loss_probability, seed=seed)
+
+
+def large_manet_waypoint(n: int = 1000, area: float = 2000.0, radio_range: float = 120.0,
+                         dmax: int = 3, speed: float = 10.0, seed: int = 0,
+                         pause_time: float = 0.0, loss_probability: float = 0.0,
+                         use_spatial_index: bool = True,
+                         config: Optional[GRPConfig] = None) -> GRPDeployment:
+    """Thousand-node random-waypoint field (large-network asymptotics workload).
+
+    Defaults give an expected degree of about ``n * pi * r^2 / area^2`` ≈ 11,
+    i.e. a connected but not saturated MANET.  Only tractable through the
+    spatial neighbour index; pass ``use_spatial_index=False`` to measure the
+    brute-force baseline.
+    """
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = RandomWaypointMobility((area, area), min_speed=speed * 0.5, max_speed=speed,
+                                      pause_time=pause_time, rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n))
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed,
+                             use_spatial_index=use_spatial_index)
+
+
+def dense_highway_convoy(n: int = 600, road_length: float = 3000.0, radio_range: float = 200.0,
+                         dmax: int = 4, lane_count: int = 6, base_speed: float = 25.0,
+                         spacing: float = 15.0, seed: int = 0,
+                         loss_probability: float = 0.0,
+                         use_spatial_index: bool = True,
+                         config: Optional[GRPConfig] = None) -> GRPDeployment:
+    """Dense VANET convoy: bumper-to-bumper traffic across many lanes.
+
+    The tight ``spacing`` packs dozens of vehicles inside every radio range,
+    the worst case for the brute-force neighbour scan and the stress case for
+    the spatial index (many occupants per grid cell).
+    """
+    cfg = config if config is not None else GRPConfig(dmax=dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = HighwayMobility(road_length=road_length, lane_count=lane_count,
+                               base_speed=base_speed, rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n), spacing=spacing)
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed,
+                             use_spatial_index=use_spatial_index)
 
 
 def rpgm_scenario(group_sizes: Sequence[int], area: float, radio_range: float, dmax: int,

@@ -7,6 +7,7 @@ from .geometry import (bounding_box, clamp_to_area, distance, distances_from, gr
                        line_positions, pairwise_distances, random_positions)
 from .network import Network
 from .radio import AsymmetricRangeRadio, ProbabilisticDiskRadio, RadioModel, UnitDiskRadio
+from .spatialindex import UniformGridIndex
 from .topology import (connected_components, distance_matrix_within, group_diameter_ok,
                        group_is_connected, merged_diameter_ok, neighbors_within,
                        snapshot_graph, subgraph_diameter, subgraph_distance)
@@ -18,6 +19,7 @@ __all__ = [
     "line_positions", "pairwise_distances", "random_positions",
     "Network",
     "AsymmetricRangeRadio", "ProbabilisticDiskRadio", "RadioModel", "UnitDiskRadio",
+    "UniformGridIndex",
     "connected_components", "distance_matrix_within", "group_diameter_ok",
     "group_is_connected", "merged_diameter_ok", "neighbors_within", "snapshot_graph",
     "subgraph_diameter", "subgraph_distance",

@@ -46,10 +46,17 @@ class PerfectChannel(ChannelModel):
     def __init__(self, delay: float = 0.0):
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        self.delay = float(delay)
+        # The decision is identical for every transmission; sharing one frozen
+        # instance keeps the per-receiver broadcast cost allocation-free.
+        self._decision = ChannelDecision(delivered=True, delay=float(delay))
+
+    @property
+    def delay(self) -> float:
+        """Constant delivery delay."""
+        return self._decision.delay
 
     def decide(self, sender, receiver, time) -> ChannelDecision:
-        return ChannelDecision(delivered=True, delay=self.delay)
+        return self._decision
 
 
 class LossyChannel(ChannelModel):

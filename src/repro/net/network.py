@@ -8,10 +8,28 @@ A broadcast from node ``u`` is delivered to every *active* node ``v`` such that
 ``u`` is in the vicinity of ``v`` at emission time, unless the channel decides
 to drop it.  Delivery happens after the channel delay, through the process
 :meth:`repro.sim.process.Process.deliver` hook.
+
+Neighbour engine
+----------------
+When the radio reports a finite :meth:`~repro.net.radio.RadioModel.max_range`,
+the network serves vicinity and topology queries from a
+:class:`~repro.net.spatialindex.UniformGridIndex` over the node positions
+instead of scanning every process, making broadcasts and snapshots cost
+O(local density) instead of O(N).  Topology snapshots are additionally cached
+behind a *generation stamp*: every position change (``set_position``, mobility
+steps), membership change (``add_node`` / ``remove_node``) and activation
+change bumps the generation, and a snapshot is rebuilt only when its stamp is
+stale.  Radios whose parameters are mutated in place without changing
+``max_range()`` (e.g. lowering one node's range on an
+:class:`~repro.net.radio.AsymmetricRangeRadio`) must be followed by a call to
+:meth:`Network.invalidate_topology`.  Radios with unbounded range
+(``max_range() is None``) keep the original brute-force scan, still behind the
+same snapshot cache.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
@@ -23,6 +41,7 @@ from repro.sim.trace import TraceRecorder
 from .channel import ChannelModel, PerfectChannel
 from .geometry import Point
 from .radio import RadioModel
+from .spatialindex import UniformGridIndex
 from .topology import snapshot_graph
 
 __all__ = ["Network"]
@@ -45,24 +64,38 @@ class Network:
     trace:
         Optional trace recorder; the network records ``send``, ``receive`` and
         ``drop`` events into it.
+    use_spatial_index:
+        Serve neighbour queries from a uniform grid index when the radio has a
+        bounded range (default).  Disable to force the brute-force scans, e.g.
+        to benchmark or to cross-check the index.
     """
 
     def __init__(self, sim: Simulator, radio: RadioModel,
                  channel: Optional[ChannelModel] = None,
                  mobility: Optional[Any] = None,
-                 trace: Optional[TraceRecorder] = None):
+                 trace: Optional[TraceRecorder] = None,
+                 use_spatial_index: bool = True):
         self.sim = sim
         self.radio = radio
         self.channel = channel if channel is not None else PerfectChannel()
         self.mobility = mobility
         self.trace = trace
+        self.use_spatial_index = bool(use_spatial_index)
         self._processes: Dict[Hashable, Process] = {}
         self._positions: Dict[Hashable, Point] = {}
+        self._order: Dict[Hashable, int] = {}
+        self._order_counter = itertools.count()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self._mobility_handle = None
         self._position_listeners: List[Callable[[float, Dict[Hashable, Point]], None]] = []
+        self._index: Optional[UniformGridIndex] = None
+        self._generation = 0
+        self._topo_cache: Optional[nx.Graph] = None
+        self._topo_cache_key: Optional[Tuple[int, Optional[float]]] = None
+        self._directed_cache: Optional[nx.DiGraph] = None
+        self._directed_cache_key: Optional[Tuple[int, Optional[float]]] = None
 
     # ------------------------------------------------------------- topology
 
@@ -76,6 +109,11 @@ class Network:
         """Current positions (copy)."""
         return dict(self._positions)
 
+    @property
+    def topology_generation(self) -> int:
+        """Monotonic counter bumped on every position/membership/activation change."""
+        return self._generation
+
     def position_of(self, node_id: Hashable) -> Point:
         """Current position of ``node_id``."""
         return self._positions[node_id]
@@ -84,12 +122,24 @@ class Network:
         """Teleport ``node_id`` to ``position``."""
         if node_id not in self._processes:
             raise KeyError(f"unknown node {node_id!r}")
-        self._positions[node_id] = (float(position[0]), float(position[1]))
+        pos = (float(position[0]), float(position[1]))
+        self._positions[node_id] = pos
+        if self._index is not None:
+            self._index.update(node_id, pos)
+        self._generation += 1
 
     def set_positions(self, positions: Mapping[Hashable, Point]) -> None:
         """Update several node positions at once."""
         for node_id, pos in positions.items():
             self.set_position(node_id, pos)
+
+    def invalidate_topology(self) -> None:
+        """Force the next snapshot/neighbour query to recompute.
+
+        Required after mutating the radio model in place in a way that does not
+        change ``max_range()`` (the network cannot observe such mutations).
+        """
+        self._generation += 1
 
     def process(self, node_id: Hashable) -> Process:
         """The protocol process attached to ``node_id``."""
@@ -109,13 +159,22 @@ class Network:
         if process.node_id in self._processes:
             raise ValueError(f"node {process.node_id!r} already exists")
         process.bind(self.sim, self)
+        pos = (float(position[0]), float(position[1]))
         self._processes[process.node_id] = process
-        self._positions[process.node_id] = (float(position[0]), float(position[1]))
+        self._positions[process.node_id] = pos
+        self._order[process.node_id] = next(self._order_counter)
+        if self._index is not None:
+            self._index.insert(process.node_id, pos)
+        self._generation += 1
 
     def remove_node(self, node_id: Hashable) -> Process:
         """Detach and return the process of ``node_id`` (the node disappears)."""
         process = self._processes.pop(node_id)
         self._positions.pop(node_id, None)
+        self._order.pop(node_id, None)
+        if self._index is not None:
+            self._index.remove(node_id)
+        self._generation += 1
         return process
 
     def start(self) -> None:
@@ -134,6 +193,10 @@ class Network:
     def activate_node(self, node_id: Hashable) -> None:
         """Power a node back on."""
         self._processes[node_id].activate()
+
+    def notify_activation_change(self, node_id: Hashable, active: bool) -> None:
+        """Invalidate snapshots after an activation flip (called by the process)."""
+        self._generation += 1
 
     # -------------------------------------------------------------- mobility
 
@@ -155,8 +218,17 @@ class Network:
 
         def _move() -> None:
             new_positions = self.mobility.step(self._positions, step)
-            self._positions.update(
-                {n: (float(p[0]), float(p[1])) for n, p in new_positions.items()})
+            for node_id, p in new_positions.items():
+                if node_id not in self._processes:
+                    # Mobility models may carry state for nodes the network
+                    # never knew or has removed; admitting them would break
+                    # the positions ↔ processes ↔ index mirror invariant.
+                    continue
+                pos = (float(p[0]), float(p[1]))
+                self._positions[node_id] = pos
+                if self._index is not None:
+                    self._index.update(node_id, pos)
+            self._generation += 1
             for listener in self._position_listeners:
                 listener(self.sim.now, dict(self._positions))
 
@@ -168,12 +240,44 @@ class Network:
             self._mobility_handle.cancel()
             self._mobility_handle = None
 
+    # -------------------------------------------------------- neighbour engine
+
+    def _spatial_index(self) -> Optional[UniformGridIndex]:
+        """The grid index, (re)built on demand; ``None`` on the brute-force path."""
+        if not self.use_spatial_index:
+            return None
+        max_range = self.radio.max_range()
+        if max_range is None or max_range <= 0:
+            return None
+        if self._index is None or self._index.cell_size != max_range:
+            self._index = UniformGridIndex(max_range, self._positions)
+        return self._index
+
+    def _vicinity_candidates(self, sender: Hashable) -> Iterable[Hashable]:
+        """Nodes that could possibly hear ``sender``, in insertion order.
+
+        With the index this is the set within ``max_range`` of the sender (the
+        radio still applies the exact vicinity test); without it, every other
+        node.  Insertion order matters: stochastic radios and channels consume
+        their random stream per candidate, so the indexed and brute-force
+        paths must inspect candidates identically.
+        """
+        index = self._spatial_index()
+        if index is None:
+            return [nid for nid in self._processes if nid != sender]
+        candidates = index.neighbors_within(sender, self.radio.max_range())
+        candidates.sort(key=self._order.__getitem__)
+        return candidates
+
     # ------------------------------------------------------------- messaging
 
     def broadcast(self, sender: Hashable, payload: Any) -> int:
         """Broadcast ``payload`` from ``sender`` to its current vicinity.
 
-        Returns the number of receivers the message was (eventually) delivered to.
+        Returns the number of receivers the channel accepted the message for.
+        Actual delivery can still be suppressed if a receiver deactivates
+        before the channel delay elapses; ``messages_delivered`` counts only
+        messages handed to an active process.
         """
         sender_proc = self._processes[sender]
         if not sender_proc.active:
@@ -182,9 +286,10 @@ class Network:
         if self.trace is not None:
             self.trace.record(self.sim.now, "send", sender=sender)
         sender_pos = self._positions[sender]
-        delivered = 0
-        for receiver, proc in self._processes.items():
-            if receiver == sender or not proc.active:
+        accepted = 0
+        for receiver in self._vicinity_candidates(sender):
+            proc = self._processes[receiver]
+            if not proc.active:
                 continue
             receiver_pos = self._positions[receiver]
             if not self.radio.in_vicinity(sender, receiver, sender_pos, receiver_pos):
@@ -196,45 +301,107 @@ class Network:
                     self.trace.record(self.sim.now, "drop", sender=sender, receiver=receiver,
                                       reason=decision.reason)
                 continue
-            delivered += 1
-            self.messages_delivered += 1
+            accepted += 1
             if decision.delay <= 0:
                 self._deliver(sender, receiver, payload)
             else:
                 self.sim.schedule(decision.delay, self._deliver, sender, receiver, payload)
-        return delivered
+        return accepted
 
     def _deliver(self, sender: Hashable, receiver: Hashable, payload: Any) -> None:
         proc = self._processes.get(receiver)
         if proc is None or not proc.active:
             return
+        self.messages_delivered += 1
         if self.trace is not None:
             self.trace.record(self.sim.now, "receive", sender=sender, receiver=receiver)
         proc.deliver(sender, payload)
 
     # -------------------------------------------------------------- snapshots
 
+    def _cache_key(self) -> Tuple[int, Optional[float]]:
+        # max_range() participates so that e.g. growing the largest range of an
+        # AsymmetricRangeRadio invalidates snapshots without an explicit call.
+        return (self._generation, self.radio.max_range())
+
+    def _symmetric_snapshot(self) -> nx.Graph:
+        """Current symmetric-link graph, rebuilt only when the stamp is stale."""
+        key = self._cache_key()
+        if self._topo_cache is not None and self._topo_cache_key == key:
+            return self._topo_cache
+        index = self._spatial_index()
+        active = self.active_nodes()
+        if index is None:
+            graph = snapshot_graph(self._positions, self.radio.link_exists, active=active)
+        else:
+            graph = nx.Graph()
+            graph.add_nodes_from(n for n in self._positions if n in active)
+            order = self._order
+            edges = []
+            for u, v in index.pairs_within(self.radio.max_range()):
+                if u not in active or v not in active:
+                    continue
+                if (self.radio.link_exists(u, v, self._positions[u], self._positions[v])
+                        and self.radio.link_exists(v, u, self._positions[v], self._positions[u])):
+                    edges.append((u, v) if order[u] < order[v] else (v, u))
+            # Sorted insertion keeps adjacency iteration order identical to the
+            # brute-force build, so downstream graph algorithms replay equally.
+            edges.sort(key=lambda e: (order[e[0]], order[e[1]]))
+            graph.add_edges_from(edges)
+        self._topo_cache = graph
+        self._topo_cache_key = key
+        return graph
+
+    def _directed_snapshot(self) -> nx.DiGraph:
+        """Current directed-link graph, rebuilt only when the stamp is stale."""
+        key = self._cache_key()
+        if self._directed_cache is not None and self._directed_cache_key == key:
+            return self._directed_cache
+        index = self._spatial_index()
+        active = self.active_nodes()
+        graph = nx.DiGraph()
+        if index is None:
+            # Iterate in insertion order, not set order: snapshot iteration
+            # order must not depend on PYTHONHASHSEED (determinism invariant).
+            nodes = [n for n in self._positions if n in active]
+            graph.add_nodes_from(nodes)
+            for u in nodes:
+                for v in nodes:
+                    if u == v:
+                        continue
+                    if self.radio.link_exists(u, v, self._positions[u], self._positions[v]):
+                        graph.add_edge(u, v)
+        else:
+            graph.add_nodes_from(n for n in self._positions if n in active)
+            order = self._order
+            arcs = []
+            for u, v in index.pairs_within(self.radio.max_range()):
+                if u not in active or v not in active:
+                    continue
+                if self.radio.link_exists(u, v, self._positions[u], self._positions[v]):
+                    arcs.append((u, v))
+                if self.radio.link_exists(v, u, self._positions[v], self._positions[u]):
+                    arcs.append((v, u))
+            arcs.sort(key=lambda a: (order[a[0]], order[a[1]]))
+            graph.add_edges_from(arcs)
+        self._directed_cache = graph
+        self._directed_cache_key = key
+        return graph
+
     def topology(self) -> nx.Graph:
-        """Symmetric-link snapshot of the current topology over active nodes."""
-        return snapshot_graph(self._positions, self.radio.link_exists,
-                              active=self.active_nodes())
+        """Symmetric-link snapshot of the current topology over active nodes.
+
+        The returned graph is a copy; mutating it does not corrupt the cache.
+        """
+        return self._symmetric_snapshot().copy()
 
     def directed_topology(self) -> nx.DiGraph:
         """Directed-link snapshot (u -> v iff u is in the vicinity of v)."""
-        graph = nx.DiGraph()
-        active = self.active_nodes()
-        graph.add_nodes_from(active)
-        for u in active:
-            for v in active:
-                if u == v:
-                    continue
-                if self.radio.link_exists(u, v, self._positions[u], self._positions[v]):
-                    graph.add_edge(u, v)
-        return graph
+        return self._directed_snapshot().copy()
 
     def neighbors_of(self, node_id: Hashable) -> Set[Hashable]:
         """Symmetric neighbours of ``node_id`` in the current snapshot."""
-        graph = self.topology()
+        graph = self._symmetric_snapshot()
         if node_id not in graph:
             return set()
         return set(graph.neighbors(node_id))

@@ -38,6 +38,17 @@ class RadioModel:
         """Return ``True`` when ``sender`` is in the vicinity of ``receiver``."""
         raise NotImplementedError
 
+    def max_range(self) -> Optional[float]:
+        """Upper bound on the reach of any transmission, or ``None`` if unbounded.
+
+        When a finite bound exists, both :meth:`in_vicinity` and
+        :meth:`link_exists` must be ``False`` for every pair farther apart than
+        the bound; the network then serves neighbour queries from a spatial
+        index instead of scanning all nodes.  Models without a usable bound
+        return ``None`` and fall back to the brute-force path.
+        """
+        return None
+
     def link_exists(self, sender: Hashable, receiver: Hashable,
                     sender_pos: Sequence[float], receiver_pos: Sequence[float]) -> bool:
         """Deterministic link predicate used to build topology snapshots.
@@ -60,6 +71,9 @@ class UnitDiskRadio(RadioModel):
     def in_vicinity(self, sender, receiver, sender_pos, receiver_pos) -> bool:
         return distance(sender_pos, receiver_pos) <= self.radio_range
 
+    def max_range(self) -> Optional[float]:
+        return self.radio_range
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"UnitDiskRadio(range={self.radio_range})"
 
@@ -77,19 +91,37 @@ class AsymmetricRangeRadio(RadioModel):
             raise ValueError("default range must be positive")
         self.default_range = float(default_range)
         self.ranges = dict(ranges or {})
+        self._max_range = self._compute_max_range()
+
+    def _compute_max_range(self) -> float:
+        if not self.ranges:
+            return self.default_range
+        return max(self.default_range, max(self.ranges.values()))
 
     def range_of(self, node: Hashable) -> float:
         """Transmission range of ``node``."""
         return float(self.ranges.get(node, self.default_range))
 
     def set_range(self, node: Hashable, value: float) -> None:
-        """Override the transmission range of ``node``."""
+        """Override the transmission range of ``node``.
+
+        Always mutate ranges through this method: it keeps the cached
+        :meth:`max_range` (queried on every broadcast) consistent.  Note that
+        a network only observes the mutation through ``max_range()``; when the
+        change leaves the maximum untouched (e.g. shrinking a non-maximal
+        range), cached topology snapshots stay stale until
+        :meth:`repro.net.network.Network.invalidate_topology` is called.
+        """
         if value <= 0:
             raise ValueError("range must be positive")
         self.ranges[node] = float(value)
+        self._max_range = self._compute_max_range()
 
     def in_vicinity(self, sender, receiver, sender_pos, receiver_pos) -> bool:
         return distance(sender_pos, receiver_pos) <= self.range_of(sender)
+
+    def max_range(self) -> Optional[float]:
+        return self._max_range
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"AsymmetricRangeRadio(default={self.default_range}, "
@@ -126,6 +158,9 @@ class ProbabilisticDiskRadio(RadioModel):
 
     def link_exists(self, sender, receiver, sender_pos, receiver_pos) -> bool:
         return distance(sender_pos, receiver_pos) <= self.inner_range
+
+    def max_range(self) -> Optional[float]:
+        return self.outer_range
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"ProbabilisticDiskRadio(inner={self.inner_range}, outer={self.outer_range}, "

@@ -48,15 +48,17 @@ class Event:
     args: tuple = field(compare=False, default=())
     kwargs: dict = field(compare=False, default_factory=dict)
     cancelled: bool = field(compare=False, default=False)
+    done: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Opaque handle allowing cancellation and inspection of a scheduled event."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, sim: Optional["Simulator"] = None):
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -70,7 +72,10 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; it will be silently skipped when reached."""
-        self._event.cancelled = True
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            if self._sim is not None and not self._event.done:
+                self._sim._pending -= 1
 
 
 class Simulator:
@@ -92,6 +97,7 @@ class Simulator:
         self._rng = np.random.default_rng(seed)
         self._seed = seed
         self._processed = 0
+        self._pending = 0
         self._running = False
 
     # ------------------------------------------------------------------ clock
@@ -118,8 +124,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently scheduled (including cancelled ones not yet popped)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of non-cancelled events currently scheduled.
+
+        Maintained as a live counter (incremented on scheduling, decremented on
+        cancellation and execution) so reading it is O(1) — the previous
+        implementation scanned the whole event queue on every call.
+        """
+        return self._pending
 
     def spawn_rng(self) -> np.random.Generator:
         """Create an independent child generator (stable given call order)."""
@@ -143,7 +154,8 @@ class Simulator:
         event = Event(time=float(time), seq=next(self._counter), callback=callback,
                       args=args, kwargs=kwargs)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, self)
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel an event previously returned by :meth:`schedule`."""
@@ -166,6 +178,8 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event.done = True
+            self._pending -= 1
             self._now = event.time
             event.callback(*event.args, **event.kwargs)
             self._processed += 1
@@ -255,7 +269,12 @@ class Simulator:
     def drain(self) -> Iterable[Event]:
         """Remove and return every pending event (used by tests)."""
         events = [e for e in self._queue if not e.cancelled]
+        for event in self._queue:
+            # Mark drained events done so a late EventHandle.cancel() does not
+            # decrement the pending counter below zero.
+            event.done = True
         self._queue.clear()
+        self._pending = 0
         return events
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -58,12 +58,16 @@ class Process:
         """Turn the node on (churn support)."""
         if not self._active:
             self._active = True
+            if self.network is not None:
+                self.network.notify_activation_change(self.node_id, True)
             self.on_activate()
 
     def deactivate(self) -> None:
         """Turn the node off; an inactive node neither sends nor receives."""
         if self._active:
             self._active = False
+            if self.network is not None:
+                self.network.notify_activation_change(self.node_id, False)
             self.on_deactivate()
 
     # ----------------------------------------------------------------- hooks

@@ -73,6 +73,31 @@ class TestBroadcast:
         assert sim.now == 2.0
         assert network.process("b").inbox == [("a", "x")]
 
+    def test_delivery_counted_at_delivery_time_under_churn(self):
+        # Regression: messages_delivered used to be incremented at schedule
+        # time, over-counting when the receiver deactivated during the channel
+        # delay.
+        channel = PerfectChannel(delay=2.0)
+        sim, network = build_network({"a": (0, 0), "b": (5, 0), "c": (5, 5)},
+                                     channel=channel)
+        accepted = network.broadcast("a", "x")
+        assert accepted == 2
+        assert network.messages_delivered == 0
+        sim.schedule(1.0, network.deactivate_node, "b")
+        sim.run()
+        assert network.process("b").inbox == []
+        assert network.process("c").inbox == [("a", "x")]
+        assert network.messages_delivered == 1
+        assert network.messages_dropped == 0
+
+    def test_delivery_not_counted_for_removed_receiver(self):
+        channel = PerfectChannel(delay=2.0)
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)}, channel=channel)
+        assert network.broadcast("a", "x") == 1
+        network.remove_node("b")
+        sim.run()
+        assert network.messages_delivered == 0
+
 
 class TestTopologySnapshots:
     def test_topology_reflects_positions(self):

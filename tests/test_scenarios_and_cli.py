@@ -5,7 +5,8 @@ import pytest
 from repro.baselines.lowest_id import LowestIdClustering
 from repro.experiments.cli import build_parser, main
 from repro.experiments.runner import ExperimentResult, attach_baseline, run_with_sampler, sweep
-from repro.experiments.scenarios import (line_topology, manet_waypoint, ring_of_clusters,
+from repro.experiments.scenarios import (dense_highway_convoy, large_manet_waypoint,
+                                          line_topology, manet_waypoint, ring_of_clusters,
                                           rpgm_scenario, static_random, two_cluster_topology,
                                           vanet_highway)
 from repro.experiments.suite import ALL_EXPERIMENTS, run_experiment
@@ -43,6 +44,23 @@ class TestScenarios:
         ):
             deployment.run(5.0)
             assert deployment.sim.now >= 5.0
+
+    def test_large_scale_scenarios_build_and_run(self):
+        # Shrunk sizes: the defaults (1000 / 600 nodes) are exercised by the
+        # spatial-index benchmark, not the unit tests.
+        for deployment in (
+            large_manet_waypoint(n=40, area=400.0, radio_range=80.0, dmax=2, seed=1),
+            dense_highway_convoy(n=30, road_length=600.0, radio_range=100.0, dmax=2, seed=1),
+        ):
+            assert deployment.network.use_spatial_index
+            deployment.run(3.0)
+            assert deployment.sim.now >= 3.0
+
+    def test_large_scenario_spatial_index_toggle(self):
+        deployment = large_manet_waypoint(n=10, area=200.0, radio_range=60.0, dmax=2,
+                                          seed=1, use_spatial_index=False)
+        assert not deployment.network.use_spatial_index
+        deployment.run(2.0)
 
     def test_deterministic_given_seed(self):
         a = static_random(n=6, area=100.0, radio_range=40.0, dmax=2, seed=5)

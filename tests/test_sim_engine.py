@@ -78,6 +78,31 @@ class TestScheduling:
         simulator.run()
         assert simulator.processed_events == 2
 
+    def test_pending_events_live_counter(self, simulator):
+        handles = [simulator.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert simulator.pending_events == 5
+        handles[0].cancel()
+        handles[0].cancel()  # double cancel must not double-decrement
+        assert simulator.pending_events == 4
+        simulator.run(max_events=2)
+        assert simulator.pending_events == 2
+        handles[4].cancel()
+        assert simulator.pending_events == 1
+        simulator.run()
+        assert simulator.pending_events == 0
+        # Cancelling an already-executed event must not underflow the counter.
+        handles[3].cancel()
+        assert simulator.pending_events == 0
+
+    def test_pending_events_after_drain(self, simulator):
+        simulator.schedule(1.0, lambda: None)
+        handle = simulator.schedule(2.0, lambda: None)
+        assert len(list(simulator.drain())) == 2
+        assert simulator.pending_events == 0
+        # Cancelling a drained event must not underflow the counter.
+        handle.cancel()
+        assert simulator.pending_events == 0
+
 
 class TestPeriodicScheduling:
     def test_call_every_fires_repeatedly(self, simulator):
