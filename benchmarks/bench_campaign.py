@@ -1,0 +1,82 @@
+"""Worker-pool scaling benchmark for the campaign orchestrator.
+
+Runs the same quick multi-seed campaign spec through the serial reference
+backend and through process pools of increasing size, and reports wall-clock
+times and speedups.  Tasks are independent seeded experiment runs, so the
+workload is embarrassingly parallel: on a machine with >= 4 cores the
+4-worker run must be >= 2x faster than serial (the acceptance target).  On
+fewer cores the speedup is physically capped at the core count, so the target
+is only *enforced* (non-zero exit) when enough cores exist.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_campaign.py``; ``--quick``
+shrinks the grid for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.metrics.report import print_table
+
+
+def time_campaign(spec: CampaignSpec, jobs: int) -> float:
+    """Wall-clock seconds for one full (store-less) execution of ``spec``."""
+    start = time.perf_counter()
+    run_campaign(spec, store=None, jobs=jobs)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller grid for CI smoke runs")
+    parser.add_argument("--jobs", type=int, nargs="*", default=None,
+                        help="worker counts to benchmark (default: 1 2 4)")
+    args = parser.parse_args()
+
+    if args.quick:
+        spec = CampaignSpec(name="bench-quick", experiments=("E6",),
+                            replicates=4, root_seed=42)
+    else:
+        spec = CampaignSpec(name="bench", experiments=("E2", "E6", "E8"),
+                            replicates=4, root_seed=42)
+    job_counts = args.jobs or [1, 2, 4]
+    if 1 not in job_counts:
+        job_counts = [1] + job_counts
+    task_count = len(spec.expand())
+    cores = os.cpu_count() or 1
+    print(f"campaign {spec.name}: {task_count} tasks "
+          f"({len(spec.experiments)} experiments x {spec.replicates} seeds), "
+          f"{cores} cores available")
+
+    rows = []
+    serial = None
+    for jobs in sorted(set(job_counts)):
+        elapsed = time_campaign(spec, jobs)
+        if jobs == 1:
+            serial = elapsed
+        rows.append({
+            "jobs": jobs,
+            "tasks": task_count,
+            "wall s": round(elapsed, 2),
+            "tasks/s": round(task_count / elapsed, 2) if elapsed > 0 else float("inf"),
+            "speedup": round(serial / elapsed, 2) if serial and elapsed > 0 else 1.0,
+        })
+    print_table(rows, title="campaign worker-pool scaling (serial reference = 1 job)")
+
+    four = next((row for row in rows if row["jobs"] == 4), None)
+    if four is not None:
+        print(f"\nspeedup at 4 workers: {four['speedup']}x (target >= 2x)")
+        if four["speedup"] < 2.0:
+            if cores >= 4:
+                print("WARNING: campaign pool below target speedup")
+                return 1
+            print(f"note: only {cores} core(s) available; target needs >= 4")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Cross-seed aggregation of campaign outcomes.
+
+Two layers:
+
+- :func:`aggregate_metrics` — machine-readable per-metric statistics
+  (mean / std / min / max over replicate rows), used by tests and by anything
+  that post-processes the JSONL store.
+- :func:`campaign_report` — the human-readable campaign report: one block per
+  experiment with a summary table rendered through
+  :func:`repro.metrics.report.aggregate_rows` (mean ± std cells).
+
+Both aggregate from outcomes sorted in canonical spec-expansion order, so the
+result is independent of worker scheduling — serial and parallel executions
+of the same spec produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.metrics.report import (aggregate_rows, format_table, format_value, group_rows,
+                                  ordered_columns)
+
+from .executor import CampaignResult, TaskOutcome
+
+__all__ = ["ColumnStats", "column_stats", "aggregate_metrics", "campaign_report",
+           "deterministic_report"]
+
+#: Columns never aggregated across replicates (they index the replicate, not
+#: the behaviour being measured).
+DROP_COLUMNS: Tuple[str, ...] = ("seed",)
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics of one numeric metric column across replicates."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+
+def column_stats(values: Sequence[object]) -> "ColumnStats | None":
+    """Stats over the numeric (non-bool, non-None) entries of ``values``.
+
+    Returns ``None`` when no numeric entry exists.  The std is the population
+    standard deviation (zero for a single replicate).
+    """
+    numeric = [float(v) for v in values
+               if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    if not numeric:
+        return None
+    return ColumnStats(count=len(numeric), mean=statistics.fmean(numeric),
+                       std=statistics.pstdev(numeric),
+                       min=min(numeric), max=max(numeric))
+
+
+def aggregate_metrics(rows: Sequence[Mapping[str, object]],
+                      group_by: Sequence[str] = (),
+                      drop: Sequence[str] = DROP_COLUMNS,
+                      ) -> "Dict[tuple, Dict[str, ColumnStats]]":
+    """Per-group, per-column statistics over replicate rows.
+
+    ``group_by`` names the key columns of the experiment's parameter grid;
+    the remaining numeric columns are aggregated.  Grouping and column
+    ordering are shared with :func:`repro.metrics.report.aggregate_rows`, so
+    the machine-readable stats and the rendered table always agree.
+    """
+    skip = set(group_by) | set(drop)
+    aggregated: Dict[tuple, Dict[str, ColumnStats]] = {}
+    for key, members in group_rows(rows, group_by).items():
+        stats: Dict[str, ColumnStats] = {}
+        for column in ordered_columns(members, skip=skip):
+            result = column_stats([row.get(column) for row in members])
+            if result is not None:
+                stats[column] = result
+        aggregated[key] = stats
+    return aggregated
+
+
+def campaign_report(result: CampaignResult) -> str:
+    """Render the full campaign report (header + one block per experiment)."""
+    # The suite sits above the campaign layer; import lazily to keep the
+    # dependency one-way at module-import time.
+    from repro.experiments.suite import AGGREGATE_KEYS
+
+    spec = result.spec
+    header = (f"campaign {spec.name} [{spec.spec_hash()}]: "
+              f"{len(spec.experiments)} experiments x {spec.replicates} seeds "
+              f"(root seed {spec.root_seed}, {'quick' if spec.quick else 'full'}), "
+              f"executed {result.executed}, resumed {result.skipped}")
+    blocks = [header]
+    for experiment in spec.experiments:
+        outcomes = result.outcomes_for(experiment)
+        if not outcomes:
+            continue
+        description = outcomes[0].description
+        rows = [row for outcome in outcomes for row in outcome.rows]
+        table = aggregate_rows(rows, group_by=AGGREGATE_KEYS.get(experiment, ()),
+                               drop=DROP_COLUMNS)
+        parts = [f"== {experiment} — {description} == ({spec.replicates} seeds)"]
+        if table:
+            parts.append(format_table(table))
+        wall = column_stats([outcome.wall_time for outcome in outcomes])
+        if wall is not None:
+            parts.append(f"note: wall time per replicate: "
+                         f"{format_value(wall.mean)} ± {format_value(wall.std)}s")
+        for note in outcomes[0].notes:
+            parts.append(f"note: {note}")
+        blocks.append("\n".join(parts))
+    return "\n\n".join(blocks)
+
+
+def deterministic_report(result: CampaignResult) -> str:
+    """:func:`campaign_report` minus the wall-time notes.
+
+    Wall times are the only backend-dependent field, so this rendering must be
+    byte-identical between serial and parallel executions of the same spec —
+    the equality the tier-1 tests enforce.
+    """
+    lines = [line for line in campaign_report(result).splitlines()
+             if not line.startswith("note: wall time per replicate:")]
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Campaign execution backends: serial reference and multiprocessing pool.
+
+The serial executor is the semantic reference: the worker pool shards the same
+task list across processes and must produce bit-identical metric rows (and
+therefore bit-identical aggregate tables), because every task is fully seeded
+and shares nothing with its siblings.  Only ``wall_time`` is allowed to differ
+between backends.
+
+Workers cap their trace memory through
+:attr:`repro.sim.trace.TraceRecorder.default_max_records` (set from
+``CampaignSpec.max_trace_records`` around each task), so long campaigns cannot
+grow worker memory without bound; per-category trace *counters* stay exact, so
+overhead metrics are unaffected.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .spec import CampaignSpec, CampaignTask
+from .store import ResultStore, TaskRecord
+
+__all__ = ["TaskOutcome", "CampaignResult", "execute_task", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one campaign task (fresh or replayed from the store)."""
+
+    task_id: str
+    experiment: str
+    replicate: int
+    seed: int
+    quick: bool
+    description: str
+    wall_time: float
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    from_store: bool = False
+
+    def to_record(self, spec_hash: str) -> TaskRecord:
+        return TaskRecord(
+            spec_hash=spec_hash, task_id=self.task_id, experiment=self.experiment,
+            replicate=self.replicate, seed=self.seed, quick=self.quick,
+            description=self.description, wall_time=self.wall_time,
+            rows=self.rows, notes=self.notes)
+
+
+def _outcome_from_record(record: TaskRecord) -> TaskOutcome:
+    return TaskOutcome(
+        task_id=record.task_id, experiment=record.experiment,
+        replicate=record.replicate, seed=record.seed, quick=record.quick,
+        description=record.description, wall_time=record.wall_time,
+        rows=record.rows, notes=record.notes, from_store=True)
+
+
+def execute_task(task: CampaignTask,
+                 max_trace_records: Optional[int] = None) -> TaskOutcome:
+    """Run one task in the current process and return its outcome.
+
+    This is the unit of work both backends share; it is a module-level
+    function so the multiprocessing pool can pickle it.
+    """
+    # Imported lazily: the experiment suite sits above the campaign layer.
+    from repro.experiments.suite import run_experiment
+    from repro.sim.trace import TraceRecorder
+
+    previous_cap = TraceRecorder.default_max_records
+    TraceRecorder.default_max_records = max_trace_records
+    try:
+        start = time.perf_counter()
+        result = run_experiment(task.experiment, quick=task.quick, seed=task.seed)
+        wall_time = time.perf_counter() - start
+    finally:
+        TraceRecorder.default_max_records = previous_cap
+    return TaskOutcome(
+        task_id=task.task_id, experiment=task.experiment, replicate=task.replicate,
+        seed=task.seed, quick=task.quick, description=result.description,
+        wall_time=wall_time, rows=result.rows, notes=result.notes)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a whole campaign, in canonical (spec expansion) order."""
+
+    spec: CampaignSpec
+    outcomes: List[TaskOutcome]
+    executed: int
+    skipped: int
+
+    def outcomes_for(self, experiment: str) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if o.experiment == experiment.upper()]
+
+
+def run_campaign(spec: CampaignSpec,
+                 store: Optional[ResultStore] = None,
+                 jobs: int = 1,
+                 progress: Optional[Callable[[TaskOutcome], None]] = None) -> CampaignResult:
+    """Execute ``spec``, resuming from ``store`` when one is given.
+
+    Tasks already recorded in the store (matched by spec hash + task id) are
+    not re-run; fresh outcomes are appended to the store as they complete, so
+    an interrupted campaign loses at most its in-flight tasks.  ``jobs <= 1``
+    uses the in-process serial reference backend; ``jobs > 1`` shards the
+    pending tasks over a process pool.  Outcomes are always returned in the
+    canonical expansion order, whatever order workers finish in.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    tasks = spec.expand()
+    spec_hash = spec.spec_hash()
+    done = store.completed(spec_hash) if store is not None else {}
+    outcomes_by_id: Dict[str, TaskOutcome] = {
+        task.task_id: _outcome_from_record(done[task.task_id])
+        for task in tasks if task.task_id in done}
+    pending = [task for task in tasks if task.task_id not in outcomes_by_id]
+
+    def _finish(outcome: TaskOutcome) -> None:
+        outcomes_by_id[outcome.task_id] = outcome
+        if store is not None:
+            store.append(outcome.to_record(spec_hash))
+        if progress is not None:
+            progress(outcome)
+
+    worker = functools.partial(execute_task, max_trace_records=spec.max_trace_records)
+    if jobs > 1 and len(pending) > 1:
+        with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
+            for outcome in pool.imap_unordered(worker, pending):
+                _finish(outcome)
+    else:
+        for task in pending:
+            _finish(worker(task))
+
+    return CampaignResult(
+        spec=spec,
+        outcomes=[outcomes_by_id[task.task_id] for task in tasks],
+        executed=len(pending),
+        skipped=len(tasks) - len(pending))

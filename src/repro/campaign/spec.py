@@ -1,0 +1,117 @@
+"""Declarative campaign specifications.
+
+A *campaign* is a grid of {experiment cell x seed replicate} expanded into
+independent tasks.  Each experiment identifier (``"E1"`` ... ``"E10"``) names
+one scenario x algorithm/config cell of the reproduction suite; the campaign
+adds the replicate dimension on top, deriving one deterministic seed per task
+from the campaign's root seed (via the same SHA-256 stream derivation the
+simulator uses, see :func:`repro.sim.randomness.derive_seed`).
+
+Determinism contract: ``CampaignSpec.expand()`` always yields the same task
+list — same identifiers, same seeds, same order — for the same spec fields,
+regardless of how (or on how many workers) the tasks later execute.  The
+canonical spec hash (:meth:`CampaignSpec.spec_hash`) namespaces the result
+store so records of one campaign never satisfy the resume check of another.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.randomness import derive_seed
+
+__all__ = ["CampaignTask", "CampaignSpec"]
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One independent unit of campaign work: a single seeded experiment run."""
+
+    task_id: str
+    experiment: str
+    replicate: int
+    seed: int
+    quick: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serializable)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative description of a multi-seed experiment campaign.
+
+    Parameters
+    ----------
+    name:
+        Free-form campaign label (participates in the spec hash, so two
+        otherwise identical campaigns with different names keep separate
+        result namespaces).
+    experiments:
+        Experiment identifiers to run (each is one scenario x algorithm/config
+        grid cell of the suite).
+    replicates:
+        Seed replicates per experiment cell.
+    root_seed:
+        Master seed; per-task seeds are derived deterministically from it.
+    quick:
+        Use the quick workload sizes (the full sizes otherwise).
+    max_trace_records:
+        Bound on stored trace records inside each worker (oldest records are
+        dropped beyond it; per-category counters stay exact).  ``None`` keeps
+        traces unbounded — avoid for long campaigns.
+    """
+
+    name: str
+    experiments: Tuple[str, ...]
+    replicates: int = 1
+    root_seed: int = 0
+    quick: bool = True
+    max_trace_records: Optional[int] = 100_000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "experiments",
+                           tuple(str(e).upper() for e in self.experiments))
+        if not self.experiments:
+            raise ValueError("a campaign needs at least one experiment")
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        if self.max_trace_records is not None and self.max_trace_records < 0:
+            raise ValueError("max_trace_records must be >= 0 or None")
+
+    # ----------------------------------------------------------- identity
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form with the experiments as a list (JSON-serializable)."""
+        data = asdict(self)
+        data["experiments"] = list(self.experiments)
+        return data
+
+    def spec_hash(self) -> str:
+        """Canonical hash of the spec, used to namespace result-store records."""
+        payload = json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    # ---------------------------------------------------------- expansion
+
+    def task_seed(self, experiment: str, replicate: int) -> int:
+        """Deterministic seed of the (experiment, replicate) task."""
+        return derive_seed(self.root_seed, f"campaign/{experiment}/rep{replicate}")
+
+    def expand(self) -> List[CampaignTask]:
+        """Expand the grid into independent tasks, in canonical order."""
+        tasks: List[CampaignTask] = []
+        for experiment in self.experiments:
+            for replicate in range(self.replicates):
+                tasks.append(CampaignTask(
+                    task_id=f"{experiment}/r{replicate}",
+                    experiment=experiment,
+                    replicate=replicate,
+                    seed=self.task_seed(experiment, replicate),
+                    quick=self.quick,
+                ))
+        return tasks

@@ -1,0 +1,111 @@
+"""Persistent, resumable JSONL result store.
+
+One line per completed task.  Record schema (all keys always present)::
+
+    {
+      "spec_hash":  str,   # CampaignSpec.spec_hash() of the owning campaign
+      "task_id":    str,   # e.g. "E3/r1"
+      "experiment": str,   # "E1" ... "E10"
+      "replicate":  int,
+      "seed":       int,   # derived per-task seed
+      "quick":      bool,
+      "description": str,  # experiment description (for report headers)
+      "wall_time":  float, # seconds spent executing the task
+      "rows":       [ {column: value, ...}, ... ],   # metric rows
+      "notes":      [ str, ... ]
+    }
+
+Append-only semantics make the store crash-safe: a run killed mid-task loses
+at most the line being written.  :meth:`ResultStore.load` skips blank and
+corrupt (partially written) lines, so resuming against a truncated store
+simply re-runs the lost task.  Records are namespaced by ``spec_hash``;
+:meth:`ResultStore.completed` only reports tasks of the requested campaign, so
+one file can accumulate several campaigns without cross-talk.  Duplicate
+``(spec_hash, task_id)`` lines can appear if two runs race on the same store;
+the last line wins, matching the append order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TaskRecord", "ResultStore"]
+
+
+def _json_default(value: object) -> object:
+    """Best-effort JSON coercion (numpy scalars expose ``item()``)."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One completed campaign task, as persisted in the store."""
+
+    spec_hash: str
+    task_id: str
+    experiment: str
+    replicate: int
+    seed: int
+    quick: bool
+    description: str
+    wall_time: float
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class ResultStore:
+    """Append-only JSONL store of :class:`TaskRecord` lines."""
+
+    REQUIRED_KEYS = frozenset(
+        ("spec_hash", "task_id", "experiment", "replicate", "seed", "quick",
+         "description", "wall_time", "rows", "notes"))
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    def append(self, record: TaskRecord) -> None:
+        """Persist one completed task (flushed immediately)."""
+        # Keys keep insertion order: metric-row column order is part of the
+        # report rendering, so a resumed campaign must replay it exactly.
+        line = json.dumps(record.as_dict(), default=_json_default)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def load(self, spec_hash: Optional[str] = None) -> List[TaskRecord]:
+        """All parseable records (of ``spec_hash`` if given), in file order.
+
+        Blank and corrupt lines — e.g. the partial trailing line of a crashed
+        writer — are skipped silently; their tasks will simply re-run.
+        """
+        if not os.path.exists(self.path):
+            return []
+        records: List[TaskRecord] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(data, dict) or not self.REQUIRED_KEYS <= set(data):
+                    continue
+                if spec_hash is not None and data["spec_hash"] != spec_hash:
+                    continue
+                records.append(TaskRecord(**{k: data[k] for k in self.REQUIRED_KEYS}))
+        return records
+
+    def completed(self, spec_hash: str) -> Dict[str, TaskRecord]:
+        """Mapping task_id -> record for one campaign (last duplicate wins)."""
+        return {record.task_id: record for record in self.load(spec_hash)}

@@ -450,7 +450,11 @@ class GRPNode(Process):
             self.priorities.set_own(int(priority))
         if quarantine_noise is not None:
             rng, limit = quarantine_noise
-            for node in list(self.alist.nodes()):
+            # alist.nodes() is a set; a fixed iteration order keeps the rng
+            # draws — and hence the whole corrupted run — independent of
+            # PYTHONHASHSEED, so campaign replicates reproduce across
+            # interpreter invocations.
+            for node in sorted(self.alist.nodes(), key=str):
                 if node != self.node_id:
                     self.quarantine.force(node, int(rng.integers(0, max(1, limit) + 1)))
 

@@ -9,6 +9,47 @@ Run one experiment (quick parameters)::
 Run the full suite with paper-scale parameters and write a report::
 
     python -m repro.experiments.cli all --full --output results.txt
+
+Run E1–E10 as a multi-seed campaign on 4 worker processes, with a resumable
+result store::
+
+    python -m repro.experiments.cli all --seeds 8 --jobs 4 --store results.jsonl
+
+Campaign mode
+-------------
+``--seeds N`` (N > 1), ``--jobs K`` (K > 1) or ``--store PATH`` switch the CLI
+from the single-run path to the campaign orchestrator
+(:mod:`repro.campaign`).  Without any of them the CLI behaves exactly as
+before — one process, one seed per experiment, byte-identical report output.
+
+*Spec format.*  The selected experiments, the replicate count (``--seeds``),
+the root seed (``--seed``, default 0) and the workload size (``--full``)
+define a :class:`repro.campaign.CampaignSpec`.  The spec expands into one
+task per {experiment x replicate}; each task's seed is derived
+deterministically from the root seed via SHA-256
+(:func:`repro.sim.randomness.derive_seed`), so the task list — identifiers,
+seeds and order — is a pure function of the spec.
+
+*Result store schema.*  ``--store`` appends one JSON line per completed task::
+
+    {"spec_hash": ..., "task_id": "E3/r1", "experiment": "E3",
+     "replicate": 1, "seed": ..., "quick": true, "description": ...,
+     "wall_time": ..., "rows": [...], "notes": [...]}
+
+*Resume semantics.*  Rerunning the same command against the same store skips
+every task whose ``(spec_hash, task_id)`` is already recorded and replays its
+rows from the store — an interrupted campaign loses at most its in-flight
+tasks.  Changing any spec field (experiments, seeds, root seed, ``--full``)
+changes the spec hash, so stale records of a different campaign are never
+reused.  Corrupt trailing lines (crashed writer) are skipped and their tasks
+re-run.
+
+*Aggregation.*  The campaign report prints, per experiment, one table with
+replicate rows collapsed to ``mean ± std`` cells
+(:func:`repro.metrics.report.aggregate_rows`), grouped by the experiment's
+parameter-grid columns (:data:`repro.experiments.suite.AGGREGATE_KEYS`).
+Aggregates are computed in canonical task order, so serial (``--jobs 1``) and
+parallel executions produce identical tables.
 """
 
 from __future__ import annotations
@@ -34,10 +75,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Experiment identifier (E1..E10) or 'all'.")
     parser.add_argument("--full", action="store_true",
                         help="Use the full (slower) workload sizes instead of the quick ones.")
-    parser.add_argument("--seed", type=int, default=None, help="Override the experiment seed.")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="Override the experiment seed (campaign mode: the root seed).")
     parser.add_argument("--output", type=str, default=None,
                         help="Also write the report to this file.")
     parser.add_argument("--list", action="store_true", help="List available experiments.")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="Seed replicates per experiment; > 1 runs a multi-seed campaign "
+                             "with cross-seed aggregated tables.")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="Worker processes for campaign execution (1 = serial reference).")
+    parser.add_argument("--store", type=str, default=None,
+                        help="JSONL result store; reruns resume by skipping recorded tasks.")
     return parser
 
 
@@ -49,6 +98,22 @@ def _run(experiment_ids: List[str], quick: bool, seed: Optional[int]) -> List[Ex
         result.add_note(f"wall time: {time.time() - start:.1f}s")
         results.append(result)
     return results
+
+
+def _run_campaign(experiment_ids: List[str], args: argparse.Namespace) -> str:
+    """Execute the selected experiments as a multi-seed campaign."""
+    from repro.campaign import CampaignSpec, ResultStore, campaign_report, run_campaign
+
+    spec = CampaignSpec(
+        name=args.experiment.lower(),
+        experiments=tuple(experiment_ids),
+        replicates=max(1, args.seeds),
+        root_seed=args.seed if args.seed is not None else 0,
+        quick=not args.full,
+    )
+    store = ResultStore(args.store) if args.store else None
+    result = run_campaign(spec, store=store, jobs=max(1, args.jobs))
+    return campaign_report(result)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -63,13 +128,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         experiment_ids = sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
     else:
         experiment_ids = [args.experiment]
+    campaign_mode = args.seeds > 1 or args.jobs > 1 or args.store is not None
     try:
-        results = _run(experiment_ids, quick=not args.full, seed=args.seed)
+        if campaign_mode:
+            report = _run_campaign(experiment_ids, args)
+        else:
+            results = _run(experiment_ids, quick=not args.full, seed=args.seed)
+            report = "\n\n".join(result.to_text() for result in results)
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    blocks = [result.to_text() for result in results]
-    report = "\n\n".join(blocks)
     print(report)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:

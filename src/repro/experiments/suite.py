@@ -46,6 +46,7 @@ __all__ = [
     "e9_merging",
     "e10_compatibility",
     "ALL_EXPERIMENTS",
+    "AGGREGATE_KEYS",
     "run_experiment",
 ]
 
@@ -416,6 +417,23 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E8": e8_overhead,
     "E9": e9_merging,
     "E10": e10_compatibility,
+}
+
+
+# Parameter-grid key columns of each experiment's result rows.  Multi-seed
+# campaigns group replicate rows by these columns before aggregating the
+# metric columns (mean ± std across seeds); rows of E6 form a single cell.
+AGGREGATE_KEYS: Dict[str, tuple] = {
+    "E1": ("n", "dmax"),
+    "E2": ("dmax", "scenario"),
+    "E3": ("speed",),
+    "E4": ("algorithm",),
+    "E5": ("algorithm",),
+    "E6": (),
+    "E7": ("variant",),
+    "E8": ("n", "dmax"),
+    "E9": ("scenario", "dmax"),
+    "E10": ("topology", "variant"),
 }
 
 

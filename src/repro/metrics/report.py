@@ -7,9 +7,11 @@ so the output stays dependency-free and diff-friendly.
 
 from __future__ import annotations
 
+import statistics
 from typing import Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "print_table", "format_value"]
+__all__ = ["format_table", "print_table", "format_value", "aggregate_rows",
+           "group_rows", "ordered_columns"]
 
 
 def format_value(value: object) -> str:
@@ -49,6 +51,81 @@ def format_table(rows: Sequence[Dict[str, object]],
     for row in body:
         lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def _is_numeric(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def group_rows(rows: Sequence[Dict[str, object]],
+               group_by: Sequence[str]) -> Dict[tuple, List[Dict[str, object]]]:
+    """Group dict rows by the tuple of their ``group_by`` values.
+
+    Groups keep first-seen order (dicts preserve insertion order), so the
+    result is deterministic for a deterministic input ordering.
+    """
+    groups: Dict[tuple, List[Dict[str, object]]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row.get(c) for c in group_by), []).append(row)
+    return groups
+
+
+def ordered_columns(rows: Sequence[Dict[str, object]],
+                    skip: Iterable[str] = ()) -> List[str]:
+    """Column names appearing across ``rows``, in first-appearance order."""
+    skipped = set(skip)
+    columns: List[str] = []
+    for row in rows:
+        for column in row:
+            if column not in skipped and column not in columns:
+                columns.append(column)
+    return columns
+
+
+def aggregate_rows(rows: Sequence[Dict[str, object]],
+                   group_by: Sequence[str] = (),
+                   drop: Sequence[str] = (),
+                   count_column: str = "replicates") -> List[Dict[str, object]]:
+    """Collapse replicate rows into summary rows, one per ``group_by`` cell.
+
+    Rows sharing the same values of the ``group_by`` columns are merged.
+    ``None`` entries are ignored throughout.  Numeric columns (ints and
+    floats, not bools) are rendered as ``mean ± std`` through
+    :func:`format_value` (population std, so a single replicate reads
+    ``x ± 0``).  Boolean columns keep their value when unanimous and
+    otherwise show the ``yes`` fraction.  Any other column keeps its value
+    when constant across the group and collapses to the number of distinct
+    values otherwise.  Columns named in ``drop`` are omitted;
+    ``count_column`` reports the group size (shadowing any data column of
+    the same name).  Group order and column order follow first appearance,
+    so the output is deterministic for a deterministic input ordering.
+    """
+    skip = set(group_by) | set(drop) | {count_column}
+    out: List[Dict[str, object]] = []
+    for key, members in group_rows(rows, group_by).items():
+        summary: Dict[str, object] = dict(zip(group_by, key))
+        summary[count_column] = len(members)
+        for column in ordered_columns(members, skip=skip):
+            present = [row[column] for row in members
+                       if column in row and row[column] is not None]
+            if not present:
+                summary[column] = None
+            elif all(isinstance(v, bool) for v in present):
+                if len(set(present)) == 1:
+                    summary[column] = present[0]
+                else:
+                    fraction = sum(1 for v in present if v) / len(present)
+                    summary[column] = f"{format_value(fraction)} yes"
+            elif all(_is_numeric(v) for v in present):
+                mean = statistics.fmean(present)
+                std = statistics.pstdev(present)
+                summary[column] = f"{format_value(mean)} ± {format_value(std)}"
+            elif len(set(map(str, present))) == 1:
+                summary[column] = present[0]
+            else:
+                summary[column] = f"{len(set(map(str, present)))} distinct"
+        out.append(summary)
+    return out
 
 
 def print_table(rows: Sequence[Dict[str, object]],

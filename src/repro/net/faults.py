@@ -4,7 +4,9 @@ Self-stabilization is about recovering from *arbitrary* transient faults:
 corrupted memories and corrupted messages.  The paper treats topology changes
 as transient faults too, but those are exercised by the mobility models; this
 module provides the memory/message corruption used by the stabilization
-experiments (E6) and the recovery tests.
+experiments (E6) and the recovery tests, plus :meth:`FaultInjector.partition`
+/ :meth:`FaultInjector.heal` power-off/power-on batches for campaign-driven
+churn sequences.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ class FaultInjector:
         self.rng = rng if rng is not None else np.random.default_rng()
         self.trace = trace
         self.injected = 0
+        self._partitioned: List[Hashable] = []
 
     # ----------------------------------------------------------- primitives
 
@@ -75,6 +78,50 @@ class FaultInjector:
         node = self.network.process(node_id)
         node.corrupt_state(append_levels=list(extra_ids))
         self._record("oversize", node=node_id, extra=len(extra_ids))
+
+    # ------------------------------------------------------- partition/heal
+
+    def partition(self, node_ids: Iterable[Hashable]) -> List[Hashable]:
+        """Power off ``node_ids``, simulating a network partition.
+
+        Deactivation goes through :meth:`Network.deactivate_node`, so each
+        node that actually flips bumps the network's topology generation once
+        (snapshot caches invalidate).  Already-inactive nodes are ignored.
+        Returns the nodes that flipped, in the order given; they are
+        remembered for a later no-argument :meth:`heal`.
+        """
+        affected: List[Hashable] = []
+        for node_id in node_ids:
+            if not self.network.process(node_id).active:
+                continue
+            self.network.deactivate_node(node_id)
+            affected.append(node_id)
+            if node_id not in self._partitioned:
+                self._partitioned.append(node_id)
+        if affected:
+            self._record("partition", nodes=list(affected))
+        return affected
+
+    def heal(self, node_ids: Optional[Iterable[Hashable]] = None) -> List[Hashable]:
+        """Power nodes back on after a :meth:`partition`.
+
+        With no argument, heals every node still tracked from previous
+        partitions; otherwise only the given nodes.  Each node that actually
+        flips bumps the topology generation once.  Returns the nodes that
+        flipped.
+        """
+        targets = list(self._partitioned) if node_ids is None else list(node_ids)
+        healed: List[Hashable] = []
+        for node_id in targets:
+            if node_id in self._partitioned:
+                self._partitioned.remove(node_id)
+            if self.network.process(node_id).active:
+                continue
+            self.network.activate_node(node_id)
+            healed.append(node_id)
+        if healed:
+            self._record("heal", nodes=list(healed))
+        return healed
 
     # -------------------------------------------------------------- batches
 

@@ -8,9 +8,9 @@ Traces are used by tests (to assert causal behaviour), by the metrics package
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter, defaultdict, deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, ClassVar, Deque, Dict, Iterator, List, Optional
 
 __all__ = ["TraceRecord", "TraceRecorder"]
 
@@ -32,14 +32,31 @@ class TraceRecorder:
 
     Recording can be limited to a set of categories to keep memory bounded in
     long benchmark runs (counters are always maintained for every category).
+    ``max_records`` bounds the stored history: beyond it the *oldest* records
+    are dropped (a sliding window over the most recent events), while the
+    per-category counters keep counting every event exactly.  Long-lived
+    campaign workers rely on this so their memory stays O(max_records)
+    however long the run.
     """
 
+    #: Cap applied when a recorder is built without an explicit
+    #: ``max_records``; the campaign executor sets it around each worker task
+    #: so every deployment created inside the task is bounded.
+    default_max_records: ClassVar[Optional[int]] = None
+
     def __init__(self, keep_categories: Optional[set] = None, max_records: Optional[int] = None):
-        self._records: List[TraceRecord] = []
+        if max_records is None:
+            max_records = type(self).default_max_records
+        self._records: Deque[TraceRecord] = deque(maxlen=max_records)
         self._counts: Counter = Counter()
         self._keep = keep_categories
         self._max_records = max_records
         self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = defaultdict(list)
+
+    @property
+    def max_records(self) -> Optional[int]:
+        """The record-storage bound (``None`` means unbounded)."""
+        return self._max_records
 
     # --------------------------------------------------------------- record
 
@@ -50,8 +67,6 @@ class TraceRecorder:
         for callback in self._subscribers.get(category, ()):
             callback(rec)
         if self._keep is not None and category not in self._keep:
-            return
-        if self._max_records is not None and len(self._records) >= self._max_records:
             return
         self._records.append(rec)
 

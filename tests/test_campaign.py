@@ -1,0 +1,208 @@
+"""Tests for the campaign orchestrator: spec, store, executors, aggregation."""
+
+import json
+
+import pytest
+
+from repro.campaign import (CampaignSpec, ResultStore, TaskRecord, aggregate_metrics,
+                            column_stats, deterministic_report, run_campaign)
+from repro.campaign.executor import execute_task
+
+
+def small_spec(**overrides):
+    """The cheapest real campaign: E6 quick runs in about a second."""
+    params = dict(name="test", experiments=("E6",), replicates=2, root_seed=7)
+    params.update(overrides)
+    return CampaignSpec(**params)
+
+
+class TestCampaignSpec:
+    def test_expansion_is_deterministic_and_ordered(self):
+        spec = CampaignSpec(name="x", experiments=("E1", "E3"), replicates=3, root_seed=5)
+        tasks = spec.expand()
+        assert [t.task_id for t in tasks] == [
+            "E1/r0", "E1/r1", "E1/r2", "E3/r0", "E3/r1", "E3/r2"]
+        assert tasks == spec.expand()
+        assert len({t.seed for t in tasks}) == len(tasks)
+
+    def test_seeds_derive_from_root_seed(self):
+        a = CampaignSpec(name="x", experiments=("E1",), replicates=2, root_seed=1)
+        b = CampaignSpec(name="x", experiments=("E1",), replicates=2, root_seed=2)
+        assert [t.seed for t in a.expand()] != [t.seed for t in b.expand()]
+        assert a.task_seed("E1", 0) == a.expand()[0].seed
+
+    def test_spec_hash_sensitive_to_every_field(self):
+        base = small_spec()
+        assert base.spec_hash() == small_spec().spec_hash()
+        for variant in (small_spec(name="other"), small_spec(replicates=3),
+                        small_spec(root_seed=8), small_spec(quick=False),
+                        small_spec(experiments=("E6", "E8")),
+                        small_spec(max_trace_records=None)):
+            assert variant.spec_hash() != base.spec_hash()
+
+    def test_experiment_ids_normalized_to_upper(self):
+        spec = CampaignSpec(name="x", experiments=("e2",))
+        assert spec.experiments == ("E2",)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", experiments=())
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", experiments=("E1",), replicates=0)
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", experiments=("E1",), max_trace_records=-1)
+
+
+def make_record(spec, task, rows=None):
+    return TaskRecord(
+        spec_hash=spec.spec_hash(), task_id=task.task_id, experiment=task.experiment,
+        replicate=task.replicate, seed=task.seed, quick=task.quick,
+        description="prefilled", wall_time=0.5,
+        rows=rows if rows is not None else [{"metric": 1.0}], notes=["fake"])
+
+
+class TestResultStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        spec = small_spec()
+        task = spec.expand()[0]
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append(make_record(spec, task))
+        records = store.load()
+        assert len(records) == 1
+        assert records[0].task_id == task.task_id
+        assert records[0].rows == [{"metric": 1.0}]
+
+    def test_load_skips_blank_and_corrupt_lines(self, tmp_path):
+        spec = small_spec()
+        task = spec.expand()[0]
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.append(make_record(spec, task))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n{not json\n")
+            handle.write('{"task_id": "missing-keys"}\n')
+            handle.write('{"spec_hash": "x", "trunc')  # crashed writer
+        assert len(store.load()) == 1
+
+    def test_completed_namespaced_by_spec_hash(self, tmp_path):
+        spec_a, spec_b = small_spec(), small_spec(root_seed=99)
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append(make_record(spec_a, spec_a.expand()[0]))
+        assert set(store.completed(spec_a.spec_hash())) == {"E6/r0"}
+        assert store.completed(spec_b.spec_hash()) == {}
+
+    def test_duplicate_task_last_wins(self, tmp_path):
+        spec = small_spec()
+        task = spec.expand()[0]
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.append(make_record(spec, task, rows=[{"metric": 1.0}]))
+        store.append(make_record(spec, task, rows=[{"metric": 2.0}]))
+        assert store.completed(spec.spec_hash())[task.task_id].rows == [{"metric": 2.0}]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert ResultStore(tmp_path / "absent.jsonl").load() == []
+
+
+class TestExecutor:
+    def test_serial_and_parallel_reports_identical(self, tmp_path):
+        spec = small_spec()
+        serial = run_campaign(spec, store=None, jobs=1)
+        parallel = run_campaign(spec, store=ResultStore(tmp_path / "p.jsonl"), jobs=2)
+        assert serial.executed == parallel.executed == 2
+        # Metric rows are bit-identical backend to backend...
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert a.task_id == b.task_id
+            assert a.rows == b.rows
+            assert a.notes == b.notes
+        # ...and so is the aggregate report (minus wall-time notes).
+        assert deterministic_report(serial) == deterministic_report(parallel)
+        # The parallel run's store records survive a JSON roundtrip unchanged:
+        # the resumed report matches the serial one below the campaign header
+        # (whose executed/resumed counts legitimately differ).
+        resumed = run_campaign(spec, store=ResultStore(tmp_path / "p.jsonl"), jobs=1)
+        assert resumed.executed == 0 and resumed.skipped == 2
+        body = lambda result: deterministic_report(result).split("\n\n", 1)[1]
+        assert body(resumed) == body(serial)
+
+    def test_resume_runs_only_missing_tasks(self, tmp_path):
+        spec = small_spec(replicates=4)
+        tasks = spec.expand()
+        store = ResultStore(tmp_path / "store.jsonl")
+        for task in tasks[:2]:
+            store.append(make_record(spec, task))
+        result = run_campaign(spec, store=store, jobs=1)
+        assert result.executed == 2 and result.skipped == 2
+        by_id = {o.task_id: o for o in result.outcomes}
+        for task in tasks[:2]:
+            assert by_id[task.task_id].from_store
+            assert by_id[task.task_id].rows == [{"metric": 1.0}]
+        for task in tasks[2:]:
+            assert not by_id[task.task_id].from_store
+            assert by_id[task.task_id].rows  # really executed
+        # The store now covers the whole campaign.
+        assert set(store.completed(spec.spec_hash())) == {t.task_id for t in tasks}
+
+    def test_unknown_experiment_propagates(self):
+        spec = CampaignSpec(name="x", experiments=("E99",))
+        with pytest.raises(KeyError):
+            run_campaign(spec, store=None, jobs=1)
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            run_campaign(small_spec(), jobs=0)
+
+    def test_execute_task_applies_trace_cap(self):
+        from repro.sim.trace import TraceRecorder
+        spec = small_spec(max_trace_records=10)
+        execute_task(spec.expand()[0], max_trace_records=spec.max_trace_records)
+        # The cap is scoped to the task: the global default is restored after.
+        assert TraceRecorder.default_max_records is None
+        assert TraceRecorder().max_records is None
+
+
+class TestAggregation:
+    def test_column_stats(self):
+        stats = column_stats([1.0, 3.0, None, True, "text"])
+        assert stats.count == 2
+        assert stats.mean == 2.0 and stats.std == 1.0
+        assert stats.min == 1.0 and stats.max == 3.0
+        assert column_stats([None, "x", True]) is None
+
+    def test_aggregate_metrics_groups_and_drops(self):
+        rows = [
+            {"n": 5, "seed": 1, "latency": 2.0},
+            {"n": 5, "seed": 2, "latency": 4.0},
+            {"n": 9, "seed": 1, "latency": 10.0},
+        ]
+        stats = aggregate_metrics(rows, group_by=("n",), drop=("seed",))
+        assert list(stats) == [(5,), (9,)]
+        assert stats[(5,)]["latency"].mean == 3.0
+        assert stats[(5,)]["latency"].min == 2.0
+        assert stats[(9,)]["latency"].count == 1
+        assert "seed" not in stats[(5,)] and "n" not in stats[(5,)]
+
+
+class TestCampaignCli:
+    def test_cli_campaign_mode_resumes(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        store_path = str(tmp_path / "cli-store.jsonl")
+        assert main(["E6", "--seeds", "2", "--jobs", "1", "--store", store_path]) == 0
+        first = capsys.readouterr().out
+        assert "executed 2, resumed 0" in first
+        assert "== E6 —" in first
+        assert main(["E6", "--seeds", "2", "--jobs", "1", "--store", store_path]) == 0
+        second = capsys.readouterr().out
+        assert "executed 0, resumed 2" in second
+        # Everything below the campaign header is reproducible across runs.
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith(("campaign ", "note: wall time"))]
+        assert strip(first) == strip(second)
+
+    def test_cli_campaign_unknown_experiment(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["E99", "--seeds", "2"]) == 2
+
+    def test_cli_parser_campaign_defaults(self):
+        from repro.experiments.cli import build_parser
+        args = build_parser().parse_args([])
+        assert args.seeds == 1 and args.jobs == 1 and args.store is None

@@ -1,5 +1,6 @@
 """Tests for fault injection and overhead measurement on live deployments."""
 
+import numpy as np
 import pytest
 
 from repro.core.node import GRPConfig
@@ -50,6 +51,111 @@ class TestFaultInjector:
         assert 1 <= len(corrupted) <= 2
         with pytest.raises(ValueError):
             injector.random_memory_corruption(fraction=0.0)
+
+
+class TestPartitionHeal:
+    def test_partition_then_heal_flips_and_generation_bumps(self):
+        deployment = small_deployment()
+        deployment.run(5.0)
+        network = deployment.network
+        injector = FaultInjector(network)
+        gen0 = network.topology_generation
+        affected = injector.partition([0, 1])
+        assert affected == [0, 1]
+        assert not network.process(0).active and not network.process(1).active
+        # One generation bump per actual activation flip.
+        assert network.topology_generation == gen0 + 2
+        assert set(network.topology().nodes) == {2}
+        # Re-partitioning inactive nodes is a no-op (no spurious bumps).
+        assert injector.partition([0]) == []
+        assert network.topology_generation == gen0 + 2
+        healed = injector.heal()
+        assert healed == [0, 1]
+        assert network.process(0).active and network.process(1).active
+        assert network.topology_generation == gen0 + 4
+        assert set(network.topology().nodes) == {0, 1, 2}
+        # Everything tracked was healed; a second heal flips nothing.
+        assert injector.heal() == []
+
+    def test_heal_subset_keeps_rest_partitioned(self):
+        deployment = small_deployment()
+        deployment.run(2.0)
+        injector = FaultInjector(deployment.network)
+        injector.partition([0, 1, 2])
+        assert injector.heal([1]) == [1]
+        assert deployment.network.process(1).active
+        assert not deployment.network.process(0).active
+        assert injector.heal() == [0, 2]
+
+    def test_campaign_driven_churn_cycles_are_deterministic(self):
+        """Partition→heal churn driven by campaign task seeds: every flip is
+        traced and bumps the topology generation exactly once, identically
+        across two executions of the same seeded sequence."""
+        from repro.campaign import CampaignSpec
+        from repro.sim.trace import TraceRecorder
+
+        spec = CampaignSpec(name="churn", experiments=("E6",), replicates=2, root_seed=3)
+
+        def run_churn(task):
+            deployment = small_deployment(seed=task.replicate)
+            deployment.run(5.0)
+            network = deployment.network
+            trace = TraceRecorder()
+            rng = np.random.default_rng(task.seed)
+            injector = FaultInjector(network, rng=rng, trace=trace)
+            flips = 0
+            for _ in range(3):
+                victims = injector.random_memory_corruption(fraction=0.5)
+                gen = network.topology_generation
+                affected = injector.partition(victims)
+                assert network.topology_generation == gen + len(affected)
+                deployment.run(5.0)
+                gen = network.topology_generation
+                healed = injector.heal()
+                assert sorted(map(str, healed)) == sorted(map(str, affected))
+                assert network.topology_generation == gen + len(healed)
+                deployment.run(5.0)
+                flips += 2 * len(affected)
+            partitions = trace.filter("fault.partition")
+            heals = trace.filter("fault.heal")
+            assert sum(len(rec["nodes"]) for rec in partitions + heals) == flips
+            return [rec.data for rec in partitions + heals], network.topology_generation
+
+        for task in spec.expand():
+            assert run_churn(task) == run_churn(task)
+
+
+class TestHashSeedIndependence:
+    def test_corruption_recovery_reproduces_across_interpreters(self):
+        """Campaign resume mixes records from different interpreter runs, so a
+        seeded corruption run must not depend on PYTHONHASHSEED (regression:
+        quarantine noise used to consume the rng in set-iteration order)."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.net.faults import FaultInjector\n"
+            "from repro.core.node import GRPConfig\n"
+            "from repro.core.protocol import build_grp_network\n"
+            "positions = {i: (40.0 * i, 0.0) for i in range(4)}\n"
+            "d = build_grp_network(positions, GRPConfig(dmax=2), radio_range=50.0, seed=3)\n"
+            "d.run(15.0)\n"
+            "inj = FaultInjector(d.network, rng=d.sim.spawn_rng())\n"
+            "inj.random_memory_corruption(fraction=0.6, ghost_pool=['g0', 'g1'])\n"
+            "d.run(15.0)\n"
+            "print(sorted((str(k), sorted(map(str, v))) for k, v in d.views().items()))\n"
+            "print([n.quarantine.counters() for n in d.nodes.values()])\n")
+        import repro
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        outputs = set()
+        for hash_seed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run([sys.executable, "-c", script], env=env,
+                                  capture_output=True, text=True, check=True)
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
 
 
 class TestOverhead:

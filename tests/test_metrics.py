@@ -11,7 +11,7 @@ from repro.metrics.convergence import (first_legitimate_time, legitimate_fractio
 from repro.metrics.groups import (average_membership_churn, group_lifetimes,
                                   max_group_diameter, mean_group_lifetime, membership_churn,
                                   partition_quality)
-from repro.metrics.report import format_table, format_value
+from repro.metrics.report import aggregate_rows, format_table, format_value
 from repro.core.predicates import evaluate_configuration
 from repro.sim.engine import Simulator
 
@@ -169,3 +169,63 @@ class TestReport:
         assert lines[0] == "demo"
         assert "a" in lines[1] and "b" in lines[1] and "c" in lines[1]
         assert len(lines) == 5
+
+
+class TestAggregateRows:
+    def test_numeric_columns_render_mean_plus_minus_std(self):
+        rows = [{"n": 5, "latency": 1.0}, {"n": 5, "latency": 3.0}]
+        out = aggregate_rows(rows, group_by=("n",))
+        assert out == [{"n": 5, "replicates": 2, "latency": "2 ± 1"}]
+
+    def test_single_replicate_reads_x_plus_minus_zero(self):
+        out = aggregate_rows([{"n": 5, "latency": 2.5}], group_by=("n",))
+        assert out[0]["latency"] == "2.5 ± 0"
+
+    def test_groups_keep_first_seen_order(self):
+        rows = [{"k": "b", "v": 1}, {"k": "a", "v": 2}, {"k": "b", "v": 3}]
+        out = aggregate_rows(rows, group_by=("k",))
+        assert [row["k"] for row in out] == ["b", "a"]
+        assert out[0]["replicates"] == 2 and out[1]["replicates"] == 1
+
+    def test_none_values_are_ignored_in_stats(self):
+        rows = [{"k": 1, "t": 4.0}, {"k": 1, "t": None}, {"k": 1, "t": 8.0}]
+        out = aggregate_rows(rows, group_by=("k",))
+        assert out[0]["t"] == "6 ± 2"
+        assert aggregate_rows([{"k": 1, "t": None}], group_by=("k",))[0]["t"] is None
+
+    def test_bool_columns_unanimous_or_fraction(self):
+        unanimous = aggregate_rows([{"ok": True}, {"ok": True}])
+        assert unanimous[0]["ok"] is True
+        mixed = aggregate_rows([{"ok": True}, {"ok": True}, {"ok": False}, {"ok": False}])
+        assert mixed[0]["ok"] == "0.5 yes"
+
+    def test_non_numeric_constant_kept_varying_collapsed(self):
+        rows = [{"k": 1, "label": "x", "extra": "p"}, {"k": 1, "label": "x", "extra": "q"}]
+        out = aggregate_rows(rows, group_by=("k",))
+        assert out[0]["label"] == "x"
+        assert out[0]["extra"] == "2 distinct"
+
+    def test_non_numeric_constant_with_none_keeps_constant(self):
+        rows = [{"k": 1, "label": "x"}, {"k": 1, "label": None}, {"k": 1, "label": "x"}]
+        out = aggregate_rows(rows, group_by=("k",))
+        assert out[0]["label"] == "x"
+
+    def test_count_column_shadows_same_named_data_column(self):
+        rows = [{"k": 1, "replicates": 7.0}, {"k": 1, "replicates": 9.0}]
+        out = aggregate_rows(rows, group_by=("k",))
+        assert out[0]["replicates"] == 2
+
+    def test_drop_columns_omitted(self):
+        rows = [{"n": 5, "seed": 1, "t": 1.0}, {"n": 5, "seed": 2, "t": 2.0}]
+        out = aggregate_rows(rows, group_by=("n",), drop=("seed",))
+        assert "seed" not in out[0]
+
+    def test_empty_group_by_collapses_everything(self):
+        rows = [{"t": 1.0}, {"t": 3.0}, {"t": 5.0}]
+        out = aggregate_rows(rows)
+        assert len(out) == 1 and out[0]["replicates"] == 3
+
+    def test_renders_through_format_table(self):
+        rows = aggregate_rows([{"n": 5, "t": 1.0}, {"n": 5, "t": 3.0}], group_by=("n",))
+        text = format_table(rows)
+        assert "2 ± 1" in text

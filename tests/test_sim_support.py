@@ -31,12 +31,65 @@ class TestTraceRecorder:
         assert trace.count("send") == 1
         assert all(r.category == "drop" for r in trace.records)
 
-    def test_max_records_bound(self):
+    def test_max_records_bound_drops_oldest(self):
         trace = TraceRecorder(max_records=2)
         for i in range(5):
+            trace.record(float(i), "x", index=i)
+        assert len(trace) == 2
+        # Sliding window: the two *most recent* records survive.
+        assert [rec["index"] for rec in trace.records] == [3, 4]
+        # Counters stay exact past the storage bound.
+        assert trace.count("x") == 5
+        assert trace.counts() == {"x": 5}
+
+    def test_max_records_counters_exact_per_category(self):
+        trace = TraceRecorder(max_records=3)
+        for i in range(4):
+            trace.record(float(i), "send")
+            trace.record(float(i), "drop")
+        assert len(trace) == 3
+        assert trace.count("send") == 4 and trace.count("drop") == 4
+        assert trace.count() == 8
+
+    def test_max_records_zero_stores_nothing(self):
+        trace = TraceRecorder(max_records=0)
+        trace.record(1.0, "x")
+        assert len(trace) == 0 and trace.count("x") == 1
+
+    def test_subscribers_see_dropped_records(self):
+        trace = TraceRecorder(max_records=1)
+        seen = []
+        trace.subscribe("x", lambda rec: seen.append(rec.time))
+        for i in range(3):
+            trace.record(float(i), "x")
+        assert seen == [0.0, 1.0, 2.0]
+
+    def test_default_max_records_class_knob(self):
+        # The campaign executor bounds worker memory through this class-level
+        # default; explicit arguments always win over it.
+        assert TraceRecorder.default_max_records is None
+        TraceRecorder.default_max_records = 2
+        try:
+            capped = TraceRecorder()
+            assert capped.max_records == 2
+            for i in range(5):
+                capped.record(float(i), "x")
+            assert len(capped) == 2 and capped.count("x") == 5
+            explicit = TraceRecorder(max_records=4)
+            assert explicit.max_records == 4
+        finally:
+            TraceRecorder.default_max_records = None
+        assert TraceRecorder().max_records is None
+
+    def test_clear_preserves_bound(self):
+        trace = TraceRecorder(max_records=2)
+        for i in range(4):
+            trace.record(float(i), "x")
+        trace.clear()
+        assert len(trace) == 0 and trace.count() == 0
+        for i in range(4):
             trace.record(float(i), "x")
         assert len(trace) == 2
-        assert trace.count("x") == 5
 
     def test_subscription_callbacks(self):
         trace = TraceRecorder()
