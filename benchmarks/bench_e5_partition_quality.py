@@ -9,7 +9,8 @@ from repro.experiments.suite import e5_partition_quality
 
 
 def test_e5_partition_quality(benchmark):
-    result = benchmark.pedantic(e5_partition_quality, kwargs={"quick": True}, rounds=1, iterations=1)
+    result = benchmark.pedantic(e5_partition_quality, kwargs={"quick": True},
+                                rounds=1, iterations=1)
     print()
     print(result.to_text())
     assert result.rows

@@ -9,7 +9,8 @@ from repro.experiments.suite import e7_quarantine_ablation
 
 
 def test_e7_quarantine_ablation(benchmark):
-    result = benchmark.pedantic(e7_quarantine_ablation, kwargs={"quick": True}, rounds=1, iterations=1)
+    result = benchmark.pedantic(e7_quarantine_ablation, kwargs={"quick": True},
+                                rounds=1, iterations=1)
     print()
     print(result.to_text())
     assert result.rows

@@ -10,15 +10,21 @@ and reports how long the system takes to clean up and re-stabilize.
 Run with::
 
     python examples/fault_recovery.py
+
+``REPRO_QUICK=1`` shrinks the simulated durations (used by the CI smoke test).
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.core.predicates import evaluate_configuration
 from repro.experiments.runner import run_with_sampler
 from repro.experiments.scenarios import static_random
 from repro.metrics.convergence import stabilization_time
 from repro.net.faults import FaultInjector
+
+QUICK = os.environ.get("REPRO_QUICK", "") == "1"
 
 
 def legitimate_now(deployment) -> bool:
@@ -31,9 +37,10 @@ def main() -> None:
     deployment = static_random(n=16, area=300.0, radio_range=120.0, dmax=3, seed=5)
     print("Fault-recovery demo — 16 static nodes, Dmax = 3\n")
 
-    sampler = run_with_sampler(deployment, duration=60.0)
+    sampler = run_with_sampler(deployment, duration=40.0 if QUICK else 60.0)
     initial_stab = stabilization_time(sampler.samples)
-    print(f"initial stabilization time ........ {initial_stab:.0f} s")
+    print(f"initial stabilization time ........ "
+          f"{'not reached' if initial_stab is None else f'{initial_stab:.0f} s'}")
     print(f"legitimate before faults .......... {legitimate_now(deployment)}")
 
     ghosts = ["ghost-a", "ghost-b", "ghost-c"]
@@ -53,14 +60,14 @@ def main() -> None:
 
     print(f"ghost occurrences right after ..... {ghosts_remaining()}")
     cleanup_at = None
-    while deployment.sim.now < fault_time + 60.0:
+    while deployment.sim.now < fault_time + (30.0 if QUICK else 60.0):
         deployment.sim.run(until=deployment.sim.now + 1.0)
         if cleanup_at is None and ghosts_remaining() == 0:
             cleanup_at = deployment.sim.now
     print(f"ghost cleanup completed after ..... "
           f"{(cleanup_at - fault_time) if cleanup_at else float('nan'):.0f} s")
 
-    recovery_sampler = run_with_sampler(deployment, duration=40.0)
+    recovery_sampler = run_with_sampler(deployment, duration=30.0 if QUICK else 40.0)
     restab = stabilization_time(recovery_sampler.samples)
     print(f"re-stabilization time ............. "
           f"{restab:.0f} s" if restab is not None else "re-stabilization not reached")

@@ -15,15 +15,20 @@ continuity summary measured by the metrics package.
 Run with::
 
     python examples/manet_chat.py
+
+``REPRO_QUICK=1`` shrinks the simulated duration (used by the CI smoke test).
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 from repro.experiments.runner import run_with_sampler
 from repro.experiments.scenarios import manet_waypoint
 from repro.metrics.continuity import continuity_summary
+
+QUICK = os.environ.get("REPRO_QUICK", "") == "1"
 
 
 def main() -> None:
@@ -40,7 +45,8 @@ def main() -> None:
 
     deployment.start()
     deployment.sim.call_every(5.0, chat_round)
-    sampler = run_with_sampler(deployment, duration=150.0, sample_interval=1.0)
+    sampler = run_with_sampler(deployment, duration=50.0 if QUICK else 150.0,
+                               sample_interval=1.0)
 
     summary = continuity_summary(sampler.transitions)
     total_messages = sum(chat_log.values())

@@ -18,11 +18,15 @@ Run with::
 
 from __future__ import annotations
 
+import os
+
 from repro.baselines.maxmin import MaxMinDCluster
 from repro.experiments.runner import attach_baseline, run_with_sampler
 from repro.experiments.scenarios import vanet_highway
 from repro.metrics.groups import average_membership_churn, mean_group_lifetime
 from repro.metrics.report import print_table
+
+QUICK = os.environ.get("REPRO_QUICK", "") == "1"
 
 
 def run_variant(label, views_provider=None, seed=21):
@@ -31,8 +35,8 @@ def run_variant(label, views_provider=None, seed=21):
     driver = None
     if views_provider == "max-min":
         driver = attach_baseline(deployment, MaxMinDCluster(), period=2.0)
-    sampler = run_with_sampler(deployment, duration=120.0, sample_interval=2.0,
-                               warmup=30.0,
+    sampler = run_with_sampler(deployment, duration=40.0 if QUICK else 120.0,
+                               sample_interval=2.0, warmup=20.0 if QUICK else 30.0,
                                views_provider=driver.views if driver else None)
     return {
         "algorithm": label,

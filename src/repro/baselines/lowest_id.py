@@ -11,8 +11,6 @@ experiment E4 measures.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable
-
 import networkx as nx
 
 from .base import SnapshotClusteringAlgorithm, Views

@@ -9,7 +9,7 @@ treat baselines and GRP uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Optional
+from typing import Dict, FrozenSet, Hashable
 
 from repro.net.network import Network
 from repro.sim.engine import Simulator

@@ -21,9 +21,9 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.metrics.report import (aggregate_rows, format_table, format_value, group_rows,
-                                  ordered_columns)
+                                  ordered_columns, safe_pstdev)
 
-from .executor import CampaignResult, TaskOutcome
+from .executor import CampaignResult
 
 __all__ = ["ColumnStats", "column_stats", "aggregate_metrics", "campaign_report",
            "deterministic_report"]
@@ -55,7 +55,7 @@ def column_stats(values: Sequence[object]) -> "ColumnStats | None":
     if not numeric:
         return None
     return ColumnStats(count=len(numeric), mean=statistics.fmean(numeric),
-                       std=statistics.pstdev(numeric),
+                       std=safe_pstdev(numeric),
                        min=min(numeric), max=max(numeric))
 
 
@@ -83,7 +83,13 @@ def aggregate_metrics(rows: Sequence[Mapping[str, object]],
 
 
 def campaign_report(result: CampaignResult) -> str:
-    """Render the full campaign report (header + one block per experiment)."""
+    """Render the full campaign report.
+
+    One block per {experiment x scenario cell}, in canonical spec order;
+    replicate rows collapse to ``mean ± std`` cells within each block.
+    Scenario-less campaigns render exactly as before the scenario axis
+    existed (one block per experiment, no scenario mention in the headers).
+    """
     # The suite sits above the campaign layer; import lazily to keep the
     # dependency one-way at module-import time.
     from repro.experiments.suite import AGGREGATE_KEYS
@@ -93,25 +99,31 @@ def campaign_report(result: CampaignResult) -> str:
               f"{len(spec.experiments)} experiments x {spec.replicates} seeds "
               f"(root seed {spec.root_seed}, {'quick' if spec.quick else 'full'}), "
               f"executed {result.executed}, resumed {result.skipped}")
+    if spec.scenarios:
+        cells = " | ".join(scenario.label() for scenario in spec.scenarios)
+        header += f"\nscenario axis ({len(spec.scenarios)} cells): {cells}"
     blocks = [header]
     for experiment in spec.experiments:
-        outcomes = result.outcomes_for(experiment)
-        if not outcomes:
-            continue
-        description = outcomes[0].description
-        rows = [row for outcome in outcomes for row in outcome.rows]
-        table = aggregate_rows(rows, group_by=AGGREGATE_KEYS.get(experiment, ()),
-                               drop=DROP_COLUMNS)
-        parts = [f"== {experiment} — {description} == ({spec.replicates} seeds)"]
-        if table:
-            parts.append(format_table(table))
-        wall = column_stats([outcome.wall_time for outcome in outcomes])
-        if wall is not None:
-            parts.append(f"note: wall time per replicate: "
-                         f"{format_value(wall.mean)} ± {format_value(wall.std)}s")
-        for note in outcomes[0].notes:
-            parts.append(f"note: {note}")
-        blocks.append("\n".join(parts))
+        for scenario in spec.scenario_cells():
+            label = None if scenario is None else scenario.label()
+            outcomes = result.outcomes_for(experiment, label)
+            if not outcomes:
+                continue
+            description = outcomes[0].description
+            rows = [row for outcome in outcomes for row in outcome.rows]
+            table = aggregate_rows(rows, group_by=AGGREGATE_KEYS.get(experiment, ()),
+                                   drop=DROP_COLUMNS)
+            cell = "" if label is None else f"scenario {label}, "
+            parts = [f"== {experiment} — {description} == ({cell}{spec.replicates} seeds)"]
+            if table:
+                parts.append(format_table(table))
+            wall = column_stats([outcome.wall_time for outcome in outcomes])
+            if wall is not None:
+                parts.append(f"note: wall time per replicate: "
+                             f"{format_value(wall.mean)} ± {format_value(wall.std)}s")
+            for note in outcomes[0].notes:
+                parts.append(f"note: {note}")
+            blocks.append("\n".join(parts))
     return "\n\n".join(blocks)
 
 

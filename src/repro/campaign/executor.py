@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.scenarios import ScenarioSpec
+
 from .spec import CampaignSpec, CampaignTask
 from .store import ResultStore, TaskRecord
 
@@ -41,13 +43,26 @@ class TaskOutcome:
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
     from_store: bool = False
+    #: ``ScenarioSpec.as_dict()`` of the scenario cell (``None`` = default).
+    scenario: Optional[Dict[str, object]] = None
+
+    @functools.cached_property
+    def scenario_label(self) -> Optional[str]:
+        """The scenario cell's label, or ``None`` on the default cell.
+
+        Cached: report rendering queries it once per (outcome x cell) pair,
+        and rebuilding a spec from its dict each time is pure waste.
+        """
+        if self.scenario is None:
+            return None
+        return ScenarioSpec.from_dict(self.scenario).label()
 
     def to_record(self, spec_hash: str) -> TaskRecord:
         return TaskRecord(
             spec_hash=spec_hash, task_id=self.task_id, experiment=self.experiment,
             replicate=self.replicate, seed=self.seed, quick=self.quick,
             description=self.description, wall_time=self.wall_time,
-            rows=self.rows, notes=self.notes)
+            rows=self.rows, notes=self.notes, scenario=self.scenario)
 
 
 def _outcome_from_record(record: TaskRecord) -> TaskOutcome:
@@ -55,7 +70,8 @@ def _outcome_from_record(record: TaskRecord) -> TaskOutcome:
         task_id=record.task_id, experiment=record.experiment,
         replicate=record.replicate, seed=record.seed, quick=record.quick,
         description=record.description, wall_time=record.wall_time,
-        rows=record.rows, notes=record.notes, from_store=True)
+        rows=record.rows, notes=record.notes, from_store=True,
+        scenario=record.scenario)
 
 
 def execute_task(task: CampaignTask,
@@ -73,14 +89,16 @@ def execute_task(task: CampaignTask,
     TraceRecorder.default_max_records = max_trace_records
     try:
         start = time.perf_counter()
-        result = run_experiment(task.experiment, quick=task.quick, seed=task.seed)
+        result = run_experiment(task.experiment, quick=task.quick, seed=task.seed,
+                                scenario=task.scenario)
         wall_time = time.perf_counter() - start
     finally:
         TraceRecorder.default_max_records = previous_cap
     return TaskOutcome(
         task_id=task.task_id, experiment=task.experiment, replicate=task.replicate,
         seed=task.seed, quick=task.quick, description=result.description,
-        wall_time=wall_time, rows=result.rows, notes=result.notes)
+        wall_time=wall_time, rows=result.rows, notes=result.notes,
+        scenario=None if task.scenario is None else task.scenario.as_dict())
 
 
 @dataclass
@@ -92,8 +110,16 @@ class CampaignResult:
     executed: int
     skipped: int
 
-    def outcomes_for(self, experiment: str) -> List[TaskOutcome]:
-        return [o for o in self.outcomes if o.experiment == experiment.upper()]
+    def outcomes_for(self, experiment: str,
+                     scenario_label: Optional[str] = None) -> List[TaskOutcome]:
+        """Outcomes of one experiment, optionally restricted to one scenario cell.
+
+        ``scenario_label`` is the :meth:`repro.scenarios.ScenarioSpec.label`
+        of the cell; ``None`` matches the default (scenario-less) cell only.
+        """
+        return [o for o in self.outcomes
+                if o.experiment == experiment.upper()
+                and o.scenario_label == scenario_label]
 
 
 def run_campaign(spec: CampaignSpec,

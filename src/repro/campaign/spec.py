@@ -1,26 +1,32 @@
 """Declarative campaign specifications.
 
-A *campaign* is a grid of {experiment cell x seed replicate} expanded into
-independent tasks.  Each experiment identifier (``"E1"`` ... ``"E10"``) names
-one scenario x algorithm/config cell of the reproduction suite; the campaign
-adds the replicate dimension on top, deriving one deterministic seed per task
-from the campaign's root seed (via the same SHA-256 stream derivation the
-simulator uses, see :func:`repro.sim.randomness.derive_seed`).
+A *campaign* is a grid of {experiment cell x scenario cell x seed replicate}
+expanded into independent tasks.  Each experiment identifier (``"E1"`` ...
+``"E10"``) names one measurement of the reproduction suite; the optional
+scenario axis re-runs it across registered workloads
+(:class:`repro.scenarios.ScenarioSpec` entries, e.g. a ``--sweep`` over node
+count or speed), and the replicate dimension derives one deterministic seed
+per task from the campaign's root seed (via the same SHA-256 stream
+derivation the simulator uses, see :func:`repro.sim.randomness.derive_seed`).
 
 Determinism contract: ``CampaignSpec.expand()`` always yields the same task
 list — same identifiers, same seeds, same order — for the same spec fields,
 regardless of how (or on how many workers) the tasks later execute.  The
-canonical spec hash (:meth:`CampaignSpec.spec_hash`) namespaces the result
-store so records of one campaign never satisfy the resume check of another.
+canonical spec hash (:meth:`CampaignSpec.spec_hash`) covers the scenario axis
+too and namespaces the result store, so records of one campaign never satisfy
+the resume check of another.  Per-task seeds mix the scenario's canonical
+JSON into the derivation, so two scenario cells of the same experiment never
+share a seed sequence.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.scenarios import ScenarioSpec, normalize_spec
 from repro.sim.randomness import derive_seed
 
 __all__ = ["CampaignTask", "CampaignSpec"]
@@ -35,10 +41,18 @@ class CampaignTask:
     replicate: int
     seed: int
     quick: bool
+    scenario: Optional[ScenarioSpec] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form (JSON-serializable)."""
-        return asdict(self)
+        return {
+            "task_id": self.task_id,
+            "experiment": self.experiment,
+            "replicate": self.replicate,
+            "seed": self.seed,
+            "quick": self.quick,
+            "scenario": None if self.scenario is None else self.scenario.as_dict(),
+        }
 
 
 @dataclass(frozen=True)
@@ -52,10 +66,9 @@ class CampaignSpec:
         otherwise identical campaigns with different names keep separate
         result namespaces).
     experiments:
-        Experiment identifiers to run (each is one scenario x algorithm/config
-        grid cell of the suite).
+        Experiment identifiers to run (each is one measurement of the suite).
     replicates:
-        Seed replicates per experiment cell.
+        Seed replicates per {experiment x scenario} cell.
     root_seed:
         Master seed; per-task seeds are derived deterministically from it.
     quick:
@@ -64,6 +77,11 @@ class CampaignSpec:
         Bound on stored trace records inside each worker (oldest records are
         dropped beyond it; per-category counters stay exact).  ``None`` keeps
         traces unbounded — avoid for long campaigns.
+    scenarios:
+        Scenario-axis cells: every experiment runs once per entry (specs or
+        their ``as_dict`` forms).  Empty means "no scenario axis": each
+        experiment builds its own default workload, task ids and seeds stay
+        exactly as in scenario-less campaigns.
     """
 
     name: str
@@ -72,6 +90,7 @@ class CampaignSpec:
     root_seed: int = 0
     quick: bool = True
     max_trace_records: Optional[int] = 100_000
+    scenarios: Tuple[ScenarioSpec, ...] = field(default=())
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "experiments",
@@ -82,13 +101,39 @@ class CampaignSpec:
             raise ValueError("replicates must be >= 1")
         if self.max_trace_records is not None and self.max_trace_records < 0:
             raise ValueError("max_trace_records must be >= 0 or None")
+        # Normalizing against the registry schema makes labels, seeds and the
+        # spec hash describe the workload that actually builds: n=8, n=8.0
+        # and n="8" are the same cell (and duplicate as such), and unknown
+        # scenarios/parameters fail at spec creation, not mid-campaign.
+        scenarios = tuple(
+            normalize_spec(spec if isinstance(spec, ScenarioSpec)
+                           else ScenarioSpec.from_dict(spec))
+            for spec in self.scenarios)
+        object.__setattr__(self, "scenarios", scenarios)
+        labels = [spec.label() for spec in scenarios]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({lab for lab in labels if labels.count(lab) > 1})
+            raise ValueError(f"duplicate scenario cell(s): {duplicates}")
 
     # ----------------------------------------------------------- identity
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-dict form with the experiments as a list (JSON-serializable)."""
-        data = asdict(self)
-        data["experiments"] = list(self.experiments)
+        """Plain-dict form (JSON-serializable).
+
+        The ``scenarios`` key is omitted when the axis is empty, so the spec
+        hash of a scenario-less campaign is identical to what the pre-axis
+        code produced — existing result stores keep resuming.
+        """
+        data: Dict[str, object] = {
+            "name": self.name,
+            "experiments": list(self.experiments),
+            "replicates": self.replicates,
+            "root_seed": self.root_seed,
+            "quick": self.quick,
+            "max_trace_records": self.max_trace_records,
+        }
+        if self.scenarios:
+            data["scenarios"] = [spec.as_dict() for spec in self.scenarios]
         return data
 
     def spec_hash(self) -> str:
@@ -98,20 +143,39 @@ class CampaignSpec:
 
     # ---------------------------------------------------------- expansion
 
-    def task_seed(self, experiment: str, replicate: int) -> int:
-        """Deterministic seed of the (experiment, replicate) task."""
-        return derive_seed(self.root_seed, f"campaign/{experiment}/rep{replicate}")
+    def scenario_cells(self) -> Tuple[Optional[ScenarioSpec], ...]:
+        """The scenario axis: the declared cells, or a single default cell."""
+        return self.scenarios if self.scenarios else (None,)
+
+    def task_seed(self, experiment: str, replicate: int,
+                  scenario: Optional[ScenarioSpec] = None) -> int:
+        """Deterministic seed of the (experiment, scenario, replicate) task.
+
+        Scenario-less derivation is unchanged from pre-scenario campaigns, so
+        adding the axis never silently re-seeds existing grids.  With a
+        scenario the canonical JSON joins the stream name: distinct parameter
+        values get statistically independent seed streams.
+        """
+        if scenario is None:
+            return derive_seed(self.root_seed, f"campaign/{experiment}/rep{replicate}")
+        return derive_seed(
+            self.root_seed,
+            f"campaign/{experiment}/{scenario.canonical_json()}/rep{replicate}")
 
     def expand(self) -> List[CampaignTask]:
         """Expand the grid into independent tasks, in canonical order."""
         tasks: List[CampaignTask] = []
         for experiment in self.experiments:
-            for replicate in range(self.replicates):
-                tasks.append(CampaignTask(
-                    task_id=f"{experiment}/r{replicate}",
-                    experiment=experiment,
-                    replicate=replicate,
-                    seed=self.task_seed(experiment, replicate),
-                    quick=self.quick,
-                ))
+            for scenario in self.scenario_cells():
+                prefix = (experiment if scenario is None
+                          else f"{experiment}/{scenario.label()}")
+                for replicate in range(self.replicates):
+                    tasks.append(CampaignTask(
+                        task_id=f"{prefix}/r{replicate}",
+                        experiment=experiment,
+                        replicate=replicate,
+                        seed=self.task_seed(experiment, replicate, scenario),
+                        quick=self.quick,
+                        scenario=scenario,
+                    ))
         return tasks

@@ -4,11 +4,13 @@ One line per completed task.  Record schema (all keys always present)::
 
     {
       "spec_hash":  str,   # CampaignSpec.spec_hash() of the owning campaign
-      "task_id":    str,   # e.g. "E3/r1"
+      "task_id":    str,   # e.g. "E3/r1" or "E3/manet_waypoint[n=30]/r1"
       "experiment": str,   # "E1" ... "E10"
       "replicate":  int,
       "seed":       int,   # derived per-task seed
       "quick":      bool,
+      "scenario":   null | {"name": str, "params": {...}},  # scenario cell
+                           # (optional on load: absent in pre-axis stores)
       "description": str,  # experiment description (for report headers)
       "wall_time":  float, # seconds spent executing the task
       "rows":       [ {column: value, ...}, ... ],   # metric rows
@@ -57,6 +59,9 @@ class TaskRecord:
     wall_time: float
     rows: List[Dict[str, object]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: ``ScenarioSpec.as_dict()`` of the task's scenario cell, or ``None`` for
+    #: the default-workload cell (scenario-less campaigns).
+    scenario: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -103,7 +108,11 @@ class ResultStore:
                     continue
                 if spec_hash is not None and data["spec_hash"] != spec_hash:
                     continue
-                records.append(TaskRecord(**{k: data[k] for k in self.REQUIRED_KEYS}))
+                # "scenario" is optional so stores written before the scenario
+                # axis existed keep loading (their records default to the
+                # scenario-less cell).
+                records.append(TaskRecord(scenario=data.get("scenario"),
+                                          **{k: data[k] for k in self.REQUIRED_KEYS}))
         return records
 
     def completed(self, spec_hash: str) -> Dict[str, TaskRecord]:

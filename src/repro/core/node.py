@@ -21,7 +21,7 @@ procedure, faithfully following the pseudo-code of Section 4.3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.sim.process import Process

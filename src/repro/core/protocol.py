@@ -7,7 +7,7 @@ The examples and the experiment scenarios are thin wrappers around it.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Tuple
 
 from repro.net.channel import ChannelModel, LossyChannel, PerfectChannel
 from repro.net.network import Network
@@ -34,6 +34,9 @@ class GRPDeployment:
         Mapping node id -> :class:`GRPNode`.
     trace:
         The trace recorder shared by the network and the metric collectors.
+    scenario_metadata:
+        Structural facts published by the scenario builder (e.g. the member
+        lists of a clustered layout); empty for unstructured scenarios.
     """
 
     def __init__(self, sim: Simulator, network: Network, nodes: Dict[Hashable, GRPNode],
@@ -43,6 +46,7 @@ class GRPDeployment:
         self.nodes = nodes
         self.trace = trace
         self.config = config
+        self.scenario_metadata: Dict[str, object] = {}
         self._started = False
 
     def start(self) -> None:

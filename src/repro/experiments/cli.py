@@ -15,37 +15,52 @@ result store::
 
     python -m repro.experiments.cli all --seeds 8 --jobs 4 --store results.jsonl
 
+List the registered scenarios, then sweep one of them as a workload grid::
+
+    python -m repro.experiments.cli --list-scenarios
+    python -m repro.experiments.cli E3 --scenario manet_waypoint \
+        --set area=400 --sweep n=10,20,40 --seeds 4 --jobs 2 --store grid.jsonl
+
 Campaign mode
 -------------
-``--seeds N`` (N > 1), ``--jobs K`` (K > 1) or ``--store PATH`` switch the CLI
-from the single-run path to the campaign orchestrator
+``--seeds N`` (N > 1), ``--jobs K`` (K > 1), ``--store PATH`` or ``--sweep``
+switch the CLI from the single-run path to the campaign orchestrator
 (:mod:`repro.campaign`).  Without any of them the CLI behaves exactly as
 before — one process, one seed per experiment, byte-identical report output.
 
-*Spec format.*  The selected experiments, the replicate count (``--seeds``),
-the root seed (``--seed``, default 0) and the workload size (``--full``)
-define a :class:`repro.campaign.CampaignSpec`.  The spec expands into one
-task per {experiment x replicate}; each task's seed is derived
-deterministically from the root seed via SHA-256
-(:func:`repro.sim.randomness.derive_seed`), so the task list — identifiers,
-seeds and order — is a pure function of the spec.
+*Scenario axis.*  ``--scenario NAME`` selects a registered scenario
+(:mod:`repro.scenarios`) as the workload of the selected experiments in place
+of their defaults.  Repeatable ``--set param=value`` pins scenario
+parameters; repeatable ``--sweep param=v1,v2,...`` turns a parameter into a
+grid axis (multiple sweeps form their cartesian product, in flag order).
+Values are validated and coerced against the scenario's declared schema
+before anything runs; tuple-valued parameters use ``+`` separators
+(``--set group_sizes=4+4+3``).  In single-run mode ``--scenario`` (with
+optional ``--set``) simply overrides the workload of the one run.
 
-*Result store schema.*  ``--store`` appends one JSON line per completed task::
+*Spec format.*  The selected experiments, the scenario cells, the replicate
+count (``--seeds``), the root seed (``--seed``, default 0) and the workload
+size (``--full``) define a :class:`repro.campaign.CampaignSpec`.  The spec
+expands into one task per {experiment x scenario cell x replicate}; each
+task's seed is derived deterministically from the root seed via SHA-256
+(:func:`repro.sim.randomness.derive_seed`), mixing in the scenario cell's
+canonical JSON, so the task list — identifiers, seeds and order — is a pure
+function of the spec.
 
-    {"spec_hash": ..., "task_id": "E3/r1", "experiment": "E3",
-     "replicate": 1, "seed": ..., "quick": true, "description": ...,
-     "wall_time": ..., "rows": [...], "notes": [...]}
+*Result store schema.*  ``--store`` appends one JSON line per completed task
+(see :mod:`repro.campaign.store`), including the scenario cell the task ran
+under.
 
 *Resume semantics.*  Rerunning the same command against the same store skips
 every task whose ``(spec_hash, task_id)`` is already recorded and replays its
 rows from the store — an interrupted campaign loses at most its in-flight
-tasks.  Changing any spec field (experiments, seeds, root seed, ``--full``)
-changes the spec hash, so stale records of a different campaign are never
-reused.  Corrupt trailing lines (crashed writer) are skipped and their tasks
-re-run.
+tasks.  Changing any spec field (experiments, scenario cells, seeds, root
+seed, ``--full``) changes the spec hash, so stale records of a different
+campaign are never reused.  Corrupt trailing lines (crashed writer) are
+skipped and their tasks re-run.
 
-*Aggregation.*  The campaign report prints, per experiment, one table with
-replicate rows collapsed to ``mean ± std`` cells
+*Aggregation.*  The campaign report prints one table per {experiment x
+scenario cell} with replicate rows collapsed to ``mean ± std`` cells
 (:func:`repro.metrics.report.aggregate_rows`), grouped by the experiment's
 parameter-grid columns (:data:`repro.experiments.suite.AGGREGATE_KEYS`).
 Aggregates are computed in canonical task order, so serial (``--jobs 1``) and
@@ -57,7 +72,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .runner import ExperimentResult
 from .suite import ALL_EXPERIMENTS, run_experiment
@@ -87,20 +102,79 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Worker processes for campaign execution (1 = serial reference).")
     parser.add_argument("--store", type=str, default=None,
                         help="JSONL result store; reruns resume by skipping recorded tasks.")
+    parser.add_argument("--scenario", type=str, default=None,
+                        help="Registered scenario overriding the experiments' default "
+                             "workload (see --list-scenarios).")
+    parser.add_argument("--set", dest="set_params", action="append", default=[],
+                        metavar="PARAM=VALUE",
+                        help="Pin one scenario parameter (repeatable; requires --scenario; "
+                             "tuple values use '+', e.g. group_sizes=4+4+3).")
+    parser.add_argument("--sweep", dest="sweep_params", action="append", default=[],
+                        metavar="PARAM=V1,V2,...",
+                        help="Sweep one scenario parameter as a grid axis (repeatable; "
+                             "requires --scenario; multiple sweeps form their cartesian "
+                             "product and imply campaign mode).")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="List registered scenarios with their parameter schemas.")
     return parser
 
 
-def _run(experiment_ids: List[str], quick: bool, seed: Optional[int]) -> List[ExperimentResult]:
+def _split_assignment(text: str, flag: str) -> Tuple[str, str]:
+    key, sep, value = text.partition("=")
+    if not sep or not key:
+        raise ValueError(f"{flag} expects PARAM=VALUE, got {text!r}")
+    return key, value
+
+
+def _scenario_variants(args: argparse.Namespace) -> Optional[List["object"]]:
+    """Expand --scenario/--set/--sweep into the list of scenario cells.
+
+    Returns ``None`` when no scenario was selected.  Every cell is validated
+    against the registry schema here, so a typo'd parameter fails before any
+    simulation runs.
+    """
+    from repro.scenarios import ScenarioSpec, get_scenario
+
+    if args.scenario is None:
+        if args.set_params or args.sweep_params:
+            raise ValueError("--set/--sweep require --scenario")
+        return None
+    definition = get_scenario(args.scenario)
+    base = {}
+    for assignment in args.set_params:
+        key, value = _split_assignment(assignment, "--set")
+        base[key] = definition.parameter(key).coerce(value)
+    variants = [ScenarioSpec.create(args.scenario, **base)]
+    for sweep in args.sweep_params:
+        key, value = _split_assignment(sweep, "--sweep")
+        parameter = definition.parameter(key)
+        points = [parameter.coerce(v) for v in value.split(",") if v]
+        if not points:
+            raise ValueError(f"--sweep {key} needs at least one value")
+        variants = [variant.with_params(**{key: point})
+                    for variant in variants for point in points]
+    for variant in variants:
+        definition.resolve_params(variant.param_dict)
+    labels = [variant.label() for variant in variants]
+    if len(set(labels)) != len(labels):
+        duplicates = sorted({label for label in labels if labels.count(label) > 1})
+        raise ValueError(f"duplicate scenario cell(s) from --sweep: {duplicates}")
+    return variants
+
+
+def _run(experiment_ids: List[str], quick: bool, seed: Optional[int],
+         scenario=None) -> List[ExperimentResult]:
     results = []
     for experiment_id in experiment_ids:
         start = time.time()
-        result = run_experiment(experiment_id, quick=quick, seed=seed)
+        result = run_experiment(experiment_id, quick=quick, seed=seed, scenario=scenario)
         result.add_note(f"wall time: {time.time() - start:.1f}s")
         results.append(result)
     return results
 
 
-def _run_campaign(experiment_ids: List[str], args: argparse.Namespace) -> str:
+def _run_campaign(experiment_ids: List[str], args: argparse.Namespace,
+                  scenarios) -> str:
     """Execute the selected experiments as a multi-seed campaign."""
     from repro.campaign import CampaignSpec, ResultStore, campaign_report, run_campaign
 
@@ -110,6 +184,7 @@ def _run_campaign(experiment_ids: List[str], args: argparse.Namespace) -> str:
         replicates=max(1, args.seeds),
         root_seed=args.seed if args.seed is not None else 0,
         quick=not args.full,
+        scenarios=tuple(scenarios) if scenarios else (),
     )
     store = ResultStore(args.store) if args.store else None
     result = run_campaign(spec, store=store, jobs=max(1, args.jobs))
@@ -124,16 +199,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         for key, func in sorted(ALL_EXPERIMENTS.items(), key=lambda kv: int(kv[0][1:])):
             print(f"{key}: {func.__doc__.splitlines()[0] if func.__doc__ else ''}")
         return 0
+    if args.list_scenarios:
+        from repro.scenarios import format_catalog
+        print(format_catalog())
+        return 0
     if args.experiment.lower() == "all":
         experiment_ids = sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
     else:
         experiment_ids = [args.experiment]
-    campaign_mode = args.seeds > 1 or args.jobs > 1 or args.store is not None
+    try:
+        scenarios = _scenario_variants(args)
+    except (KeyError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    campaign_mode = (args.seeds > 1 or args.jobs > 1 or args.store is not None
+                     or bool(args.sweep_params))
     try:
         if campaign_mode:
-            report = _run_campaign(experiment_ids, args)
+            report = _run_campaign(experiment_ids, args, scenarios)
         else:
-            results = _run(experiment_ids, quick=not args.full, seed=args.seed)
+            scenario = scenarios[0] if scenarios else None
+            results = _run(experiment_ids, quick=not args.full, seed=args.seed,
+                           scenario=scenario)
             report = "\n\n".join(result.to_text() for result in results)
     except KeyError as exc:
         print(str(exc), file=sys.stderr)

@@ -10,7 +10,7 @@ free-form notes, printable with :func:`repro.metrics.report.format_table`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.baselines.base import SnapshotClusteringAlgorithm
 from repro.baselines.periodic import PeriodicClusteringDriver
@@ -98,7 +98,8 @@ def attach_baseline(deployment: GRPDeployment, algorithm: SnapshotClusteringAlgo
     return driver
 
 
-def sweep(values: Sequence, runner: Callable[[object], Dict[str, object]]) -> List[Dict[str, object]]:
+def sweep(values: Sequence,
+          runner: Callable[[object], Dict[str, object]]) -> List[Dict[str, object]]:
     """Run ``runner`` for every value of a 1-D parameter sweep, collecting rows."""
     rows = []
     for value in values:

@@ -1,23 +1,25 @@
-"""Scenario builders used by the experiment suite, the examples and the tests.
+"""Deprecated scenario aliases (use :mod:`repro.scenarios` instead).
 
-Every builder returns a ready-to-start :class:`~repro.core.protocol.GRPDeployment`
-(plus scenario-specific metadata when useful).  All scenarios are fully seeded.
+The scenario builders moved to the declarative registry in
+``repro.scenarios``; this module keeps the historical call signatures as thin
+wrappers so existing imports, the seed tests and older notebooks keep working.
+Each wrapper builds the equivalent :class:`~repro.scenarios.ScenarioSpec` and
+delegates to :func:`repro.scenarios.build`, so a wrapper call and a registry
+build of the same parameters are bit-identical.
+
+New code should register scenarios with
+:func:`repro.scenarios.register_scenario` (or the ``@scenario`` decorator) and
+build them through specs — that is what makes them sweepable from the campaign
+CLI (``--scenario``/``--set``/``--sweep``).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.node import GRPConfig
-from repro.core.protocol import GRPDeployment, build_grp_network
-from repro.mobility.highway import HighwayMobility
-from repro.mobility.random_waypoint import RandomWaypointMobility
-from repro.mobility.rpgm import ReferencePointGroupMobility
-from repro.net.geometry import line_positions, random_positions
-from repro.sim.randomness import SeedSequenceFactory
+from repro.core.protocol import GRPDeployment
+from repro.scenarios import ScenarioSpec, build
 
 __all__ = [
     "static_random",
@@ -32,88 +34,51 @@ __all__ = [
 ]
 
 
+def _build(name: str, seed: int, config: Optional[GRPConfig], **params) -> GRPDeployment:
+    return build(ScenarioSpec.create(name, **params), seed=seed, config=config)
+
+
 def static_random(n: int, area: float, radio_range: float, dmax: int, seed: int = 0,
                   loss_probability: float = 0.0,
                   config: Optional[GRPConfig] = None) -> GRPDeployment:
     """``n`` nodes placed uniformly at random in an ``area x area`` square, no mobility."""
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    seeds = SeedSequenceFactory(seed)
-    positions = random_positions(range(n), area=(area, area), rng=seeds.stream("placement"))
-    return build_grp_network(positions, cfg, radio_range=radio_range,
-                             loss_probability=loss_probability, seed=seed)
+    return _build("static_random", seed, config, n=n, area=area, radio_range=radio_range,
+                  dmax=dmax, loss_probability=loss_probability)
 
 
 def line_topology(n: int, spacing: float, radio_range: float, dmax: int,
                   seed: int = 0, config: Optional[GRPConfig] = None) -> GRPDeployment:
     """``n`` nodes on a line with constant spacing (chain topology)."""
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    positions = line_positions(range(n), spacing=spacing)
-    return build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
+    return _build("line_topology", seed, config, n=n, spacing=spacing,
+                  radio_range=radio_range, dmax=dmax)
 
 
 def two_cluster_topology(cluster_size: int, gap: float, spacing: float, radio_range: float,
                          dmax: int, seed: int = 0,
                          config: Optional[GRPConfig] = None) -> Tuple[GRPDeployment, List, List]:
-    """Two tight clusters separated by ``gap`` along the x axis.
-
-    Returns the deployment plus the two member lists.  Used by the merging
-    experiment E9: the clusters are first out of range, then brought together
-    by teleporting the right cluster (``deployment.network.set_positions``).
-    """
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    positions: Dict[Hashable, Tuple[float, float]] = {}
-    left = list(range(cluster_size))
-    right = list(range(cluster_size, 2 * cluster_size))
-    for index, node in enumerate(left):
-        positions[node] = (index * spacing, 0.0)
-    offset = (cluster_size - 1) * spacing + gap
-    for index, node in enumerate(right):
-        positions[node] = (offset + index * spacing, 0.0)
-    deployment = build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
-    return deployment, left, right
+    """Two tight clusters separated by ``gap``; returns (deployment, left, right)."""
+    deployment = _build("two_cluster_topology", seed, config, cluster_size=cluster_size,
+                        gap=gap, spacing=spacing, radio_range=radio_range, dmax=dmax)
+    return deployment, deployment.scenario_metadata["left"], deployment.scenario_metadata["right"]
 
 
 def ring_of_clusters(cluster_count: int, cluster_size: int, ring_radius: float,
                      cluster_radius: float, radio_range: float, dmax: int, seed: int = 0,
                      config: Optional[GRPConfig] = None) -> Tuple[GRPDeployment, List[List]]:
-    """Clusters arranged on a circle — the "loop of groups willing to merge" scenario.
-
-    Neighbouring clusters on the ring are within radio range of each other, so
-    every cluster could merge with either neighbour; the group-priority rule is
-    what prevents a livelock of concurrent merge attempts (experiment E9b).
-    """
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    seeds = SeedSequenceFactory(seed)
-    rng = seeds.stream("placement")
-    positions: Dict[Hashable, Tuple[float, float]] = {}
-    clusters: List[List] = []
-    node_id = 0
-    for index in range(cluster_count):
-        angle = 2 * math.pi * index / cluster_count
-        cx = ring_radius * math.cos(angle) + ring_radius
-        cy = ring_radius * math.sin(angle) + ring_radius
-        members = []
-        for _ in range(cluster_size):
-            dx, dy = rng.uniform(-cluster_radius, cluster_radius, size=2)
-            positions[node_id] = (cx + float(dx), cy + float(dy))
-            members.append(node_id)
-            node_id += 1
-        clusters.append(members)
-    deployment = build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
-    return deployment, clusters
+    """Clusters arranged on a circle; returns (deployment, clusters)."""
+    deployment = _build("ring_of_clusters", seed, config, cluster_count=cluster_count,
+                        cluster_size=cluster_size, ring_radius=ring_radius,
+                        cluster_radius=cluster_radius, radio_range=radio_range, dmax=dmax)
+    return deployment, deployment.scenario_metadata["clusters"]
 
 
 def manet_waypoint(n: int, area: float, radio_range: float, dmax: int, speed: float,
                    seed: int = 0, pause_time: float = 0.0, loss_probability: float = 0.0,
                    config: Optional[GRPConfig] = None) -> GRPDeployment:
     """Random-waypoint MANET: ``n`` nodes moving at ``speed`` in an ``area`` square."""
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    seeds = SeedSequenceFactory(seed)
-    mobility = RandomWaypointMobility((area, area), min_speed=speed * 0.5, max_speed=speed,
-                                      pause_time=pause_time, rng=seeds.stream("mobility"))
-    positions = mobility.initial_positions(range(n))
-    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
-                             loss_probability=loss_probability, seed=seed)
+    return _build("manet_waypoint", seed, config, n=n, area=area, radio_range=radio_range,
+                  dmax=dmax, speed=speed, pause_time=pause_time,
+                  loss_probability=loss_probability)
 
 
 def vanet_highway(n: int, road_length: float, radio_range: float, dmax: int,
@@ -121,13 +86,10 @@ def vanet_highway(n: int, road_length: float, radio_range: float, dmax: int,
                   seed: int = 0, loss_probability: float = 0.0,
                   config: Optional[GRPConfig] = None) -> GRPDeployment:
     """VANET highway: vehicles on a ring road with per-lane speeds."""
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    seeds = SeedSequenceFactory(seed)
-    mobility = HighwayMobility(road_length=road_length, lane_count=lane_count,
-                               base_speed=base_speed, rng=seeds.stream("mobility"))
-    positions = mobility.initial_positions(range(n), spacing=spacing)
-    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
-                             loss_probability=loss_probability, seed=seed)
+    return _build("vanet_highway", seed, config, n=n, road_length=road_length,
+                  radio_range=radio_range, dmax=dmax, lane_count=lane_count,
+                  base_speed=base_speed, spacing=spacing,
+                  loss_probability=loss_probability)
 
 
 def large_manet_waypoint(n: int = 1000, area: float = 2000.0, radio_range: float = 120.0,
@@ -135,21 +97,10 @@ def large_manet_waypoint(n: int = 1000, area: float = 2000.0, radio_range: float
                          pause_time: float = 0.0, loss_probability: float = 0.0,
                          use_spatial_index: bool = True,
                          config: Optional[GRPConfig] = None) -> GRPDeployment:
-    """Thousand-node random-waypoint field (large-network asymptotics workload).
-
-    Defaults give an expected degree of about ``n * pi * r^2 / area^2`` ≈ 11,
-    i.e. a connected but not saturated MANET.  Only tractable through the
-    spatial neighbour index; pass ``use_spatial_index=False`` to measure the
-    brute-force baseline.
-    """
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    seeds = SeedSequenceFactory(seed)
-    mobility = RandomWaypointMobility((area, area), min_speed=speed * 0.5, max_speed=speed,
-                                      pause_time=pause_time, rng=seeds.stream("mobility"))
-    positions = mobility.initial_positions(range(n))
-    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
-                             loss_probability=loss_probability, seed=seed,
-                             use_spatial_index=use_spatial_index)
+    """Thousand-node random-waypoint field (large-network asymptotics workload)."""
+    return _build("large_manet_waypoint", seed, config, n=n, area=area,
+                  radio_range=radio_range, dmax=dmax, speed=speed, pause_time=pause_time,
+                  loss_probability=loss_probability, use_spatial_index=use_spatial_index)
 
 
 def dense_highway_convoy(n: int = 600, road_length: float = 3000.0, radio_range: float = 200.0,
@@ -158,36 +109,17 @@ def dense_highway_convoy(n: int = 600, road_length: float = 3000.0, radio_range:
                          loss_probability: float = 0.0,
                          use_spatial_index: bool = True,
                          config: Optional[GRPConfig] = None) -> GRPDeployment:
-    """Dense VANET convoy: bumper-to-bumper traffic across many lanes.
-
-    The tight ``spacing`` packs dozens of vehicles inside every radio range,
-    the worst case for the brute-force neighbour scan and the stress case for
-    the spatial index (many occupants per grid cell).
-    """
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    seeds = SeedSequenceFactory(seed)
-    mobility = HighwayMobility(road_length=road_length, lane_count=lane_count,
-                               base_speed=base_speed, rng=seeds.stream("mobility"))
-    positions = mobility.initial_positions(range(n), spacing=spacing)
-    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
-                             loss_probability=loss_probability, seed=seed,
-                             use_spatial_index=use_spatial_index)
+    """Dense VANET convoy: bumper-to-bumper traffic across many lanes."""
+    return _build("dense_highway_convoy", seed, config, n=n, road_length=road_length,
+                  radio_range=radio_range, dmax=dmax, lane_count=lane_count,
+                  base_speed=base_speed, spacing=spacing, loss_probability=loss_probability,
+                  use_spatial_index=use_spatial_index)
 
 
 def rpgm_scenario(group_sizes: Sequence[int], area: float, radio_range: float, dmax: int,
                   group_speed: float = 4.0, member_radius: float = 30.0, seed: int = 0,
                   config: Optional[GRPConfig] = None) -> GRPDeployment:
     """Reference-point group mobility: convoys of nodes moving together."""
-    cfg = config if config is not None else GRPConfig(dmax=dmax)
-    seeds = SeedSequenceFactory(seed)
-    groups: List[List[int]] = []
-    node_id = 0
-    for size in group_sizes:
-        groups.append(list(range(node_id, node_id + size)))
-        node_id += size
-    mobility = ReferencePointGroupMobility((area, area), groups, group_speed=group_speed,
-                                           member_radius=member_radius,
-                                           rng=seeds.stream("mobility"))
-    positions = mobility.initial_positions([n for group in groups for n in group])
-    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
-                             seed=seed)
+    return _build("rpgm_scenario", seed, config, group_sizes=tuple(group_sizes), area=area,
+                  radio_range=radio_range, dmax=dmax, group_speed=group_speed,
+                  member_radius=member_radius)

@@ -9,19 +9,28 @@ mapping and the expected shapes are listed in DESIGN.md; the measured outputs
 are recorded in EXPERIMENTS.md.
 
 Every experiment function accepts ``quick`` (smaller workloads, used by the
-default benchmark run and the tests) and a ``seed``, and returns an
+default benchmark run and the tests), a ``seed``, and an optional
+``scenario`` override (a :class:`~repro.scenarios.ScenarioSpec`): with it, the
+experiment measures the overridden workload instead of building its default
+one, which is what lets the campaign layer sweep any experiment across any
+registered scenario grid.  Experiments that iterate an internal parameter
+grid (e.g. the ``n`` x ``dmax`` loops of E1) re-apply those grid values onto
+the override when its scenario declares them; undeclared ones are dropped
+with a note.  Experiments whose logic depends on a hand-built topology (E9,
+and the chain part of E10) keep their structural scenarios and say so in a
+note.  Every experiment returns an
 :class:`~repro.experiments.runner.ExperimentResult`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.baselines.kclustering import KHopClustering
 from repro.baselines.lowest_id import LowestIdClustering
 from repro.baselines.maxmin import MaxMinDCluster
 from repro.core.node import GRPConfig
-from repro.core.predicates import agreement, legitimate, maximality, omega, safety
+from repro.core.predicates import agreement, legitimate, omega, safety
 from repro.core.protocol import GRPDeployment
 from repro.metrics.continuity import continuity_summary
 from repro.metrics.convergence import legitimate_fraction, stabilization_time
@@ -29,10 +38,11 @@ from repro.metrics.groups import (average_membership_churn, max_group_diameter,
                                   mean_group_lifetime, partition_quality)
 from repro.metrics.overhead import overhead_summary
 from repro.net.faults import FaultInjector
+from repro.scenarios import ScenarioSpec, get_scenario, normalize_spec
+from repro.scenarios import build as build_scenario
 
 from .runner import ExperimentResult, attach_baseline, run_with_sampler
-from .scenarios import (line_topology, manet_waypoint, ring_of_clusters, static_random,
-                        two_cluster_topology, vanet_highway)
+from .scenarios import line_topology, ring_of_clusters, static_random, two_cluster_topology
 
 __all__ = [
     "e1_stabilization",
@@ -63,9 +73,53 @@ def _advance_until(deployment: GRPDeployment, condition: Callable[[], bool],
     return deployment.sim.now - start if condition() else None
 
 
+def _workload(override: Optional[ScenarioSpec], seed: int, default_name: str,
+              config: Optional[GRPConfig] = None,
+              forced: Optional[Dict[str, object]] = None,
+              **default_params) -> GRPDeployment:
+    """Build the experiment workload: its default scenario, or the override.
+
+    ``forced`` holds the experiment's own grid values (e.g. the ``n``/``dmax``
+    loop of E1).  On the default path they merge into the default spec; on the
+    override path they are re-applied on top of the override wherever its
+    scenario declares the parameter (undeclared ones are dropped, see
+    :func:`_note_undeclared`).
+    """
+    forced = forced or {}
+    if override is None:
+        spec = ScenarioSpec.create(default_name, **default_params, **forced)
+    else:
+        declared = {p.name for p in get_scenario(override.name).parameters}
+        spec = override.with_params(
+            **{key: value for key, value in forced.items() if key in declared})
+    return build_scenario(spec, seed=seed, config=config)
+
+
+def _note_undeclared(result: ExperimentResult, override: Optional[ScenarioSpec],
+                     forced_names: tuple) -> None:
+    """Record which experiment grid columns cannot vary the override workload."""
+    if override is None:
+        return
+    declared = {p.name for p in get_scenario(override.name).parameters}
+    dropped = sorted(set(forced_names) - declared)
+    if dropped:
+        result.add_note(f"scenario {override.name!r} does not declare "
+                        f"{', '.join(dropped)}: that grid column does not vary "
+                        f"the workload")
+
+
+def _structural_note(result: ExperimentResult, override: Optional[ScenarioSpec],
+                     what: str) -> None:
+    """Record that a structural experiment (part) ignored the override."""
+    if override is not None:
+        result.add_note(f"scenario override {override.label()} ignored for {what} "
+                        f"(hand-built structural topology)")
+
+
 # --------------------------------------------------------------------------- E1
 
-def e1_stabilization(quick: bool = True, seed: int = 1) -> ExperimentResult:
+def e1_stabilization(quick: bool = True, seed: int = 1,
+                     scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E1 — Propositions 7/8/12: self-stabilization time on fixed topologies."""
     result = ExperimentResult(
         "E1", "Stabilization of ΠA ∧ ΠS ∧ ΠM on static random geometric graphs")
@@ -73,12 +127,14 @@ def e1_stabilization(quick: bool = True, seed: int = 1) -> ExperimentResult:
     dmaxes = [2, 3] if quick else [2, 3, 4]
     duration = 80.0 if quick else 150.0
     repeats = 2 if quick else 3
+    _note_undeclared(result, scenario, ("n", "dmax"))
     for n in sizes:
         for dmax in dmaxes:
             for rep in range(repeats):
                 run_seed = seed + 97 * rep
-                deployment = static_random(n=n, area=60.0 * (n ** 0.5), radio_range=95.0,
-                                           dmax=dmax, seed=run_seed)
+                deployment = _workload(scenario, run_seed, "static_random",
+                                       area=60.0 * (n ** 0.5), radio_range=95.0,
+                                       forced={"n": n, "dmax": dmax})
                 sampler = run_with_sampler(deployment, duration=duration, sample_interval=1.0,
                                            keep_graphs=False)
                 stab = stabilization_time(sampler.samples)
@@ -98,26 +154,31 @@ def e1_stabilization(quick: bool = True, seed: int = 1) -> ExperimentResult:
 
 # --------------------------------------------------------------------------- E2
 
-def e2_safety(quick: bool = True, seed: int = 2) -> ExperimentResult:
+def e2_safety(quick: bool = True, seed: int = 2,
+              scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E2 — Proposition 8: group diameters never exceed Dmax after convergence."""
     result = ExperimentResult("E2", "Safety: maximum observed group diameter vs Dmax")
     dmaxes = [2, 3] if quick else [1, 2, 3, 4]
     duration = 60.0 if quick else 120.0
     n = 14 if quick else 30
+    _note_undeclared(result, scenario, ("dmax",))
     for dmax in dmaxes:
-        static = static_random(n=n, area=260.0, radio_range=100.0, dmax=dmax, seed=seed)
-        static_sampler = run_with_sampler(static, duration=duration, warmup=40.0)
-        mobile = manet_waypoint(n=n, area=260.0, radio_range=100.0, dmax=dmax,
-                                speed=2.0, seed=seed)
-        mobile_sampler = run_with_sampler(mobile, duration=duration, warmup=40.0)
-        result.add_row(dmax=dmax, scenario="static",
-                       max_group_diameter=max_group_diameter(static_sampler.samples),
-                       safety_violations=sum(1 for s in static_sampler.samples
-                                             if not s.report.safety))
-        result.add_row(dmax=dmax, scenario="waypoint v=2",
-                       max_group_diameter=max_group_diameter(mobile_sampler.samples),
-                       safety_violations=sum(1 for s in mobile_sampler.samples
-                                             if not s.report.safety))
+        if scenario is None:
+            static = static_random(n=n, area=260.0, radio_range=100.0, dmax=dmax, seed=seed)
+            static_sampler = run_with_sampler(static, duration=duration, warmup=40.0)
+            mobile = _workload(None, seed, "manet_waypoint", n=n, area=260.0,
+                               radio_range=100.0, speed=2.0, forced={"dmax": dmax})
+            mobile_sampler = run_with_sampler(mobile, duration=duration, warmup=40.0)
+            variants = [("static", static_sampler), ("waypoint v=2", mobile_sampler)]
+        else:
+            deployment = _workload(scenario, seed, "static_random", forced={"dmax": dmax})
+            variants = [(scenario.name,
+                         run_with_sampler(deployment, duration=duration, warmup=40.0))]
+        for label, sampler in variants:
+            result.add_row(dmax=dmax, scenario=label,
+                           max_group_diameter=max_group_diameter(sampler.samples),
+                           safety_violations=sum(1 for s in sampler.samples
+                                                 if not s.report.safety))
     result.add_note("Expected shape: max observed diameter <= Dmax and zero safety "
                     "violations in the steady state of every run.")
     return result
@@ -125,16 +186,18 @@ def e2_safety(quick: bool = True, seed: int = 2) -> ExperimentResult:
 
 # --------------------------------------------------------------------------- E3
 
-def e3_continuity(quick: bool = True, seed: int = 3) -> ExperimentResult:
+def e3_continuity(quick: bool = True, seed: int = 3,
+                  scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E3 — Proposition 14: ΠT ⇒ ΠC (best-effort continuity) under mobility."""
     result = ExperimentResult(
         "E3", "Continuity: member losses conditioned on the topological predicate ΠT")
     n = 12 if quick else 24
     duration = 80.0 if quick else 200.0
     speeds = [1.0, 8.0, 25.0] if quick else [0.5, 2.0, 8.0, 25.0, 50.0]
+    _note_undeclared(result, scenario, ("speed",))
     for speed in speeds:
-        deployment = manet_waypoint(n=n, area=300.0, radio_range=120.0, dmax=3,
-                                    speed=speed, seed=seed)
+        deployment = _workload(scenario, seed, "manet_waypoint", n=n, area=300.0,
+                               radio_range=120.0, dmax=3, forced={"speed": speed})
         sampler = run_with_sampler(deployment, duration=duration, warmup=40.0)
         summary = continuity_summary(sampler.transitions)
         result.add_row(
@@ -154,14 +217,19 @@ def e3_continuity(quick: bool = True, seed: int = 3) -> ExperimentResult:
 
 # --------------------------------------------------------------------------- E4
 
-def e4_vanet_churn(quick: bool = True, seed: int = 4) -> ExperimentResult:
+def e4_vanet_churn(quick: bool = True, seed: int = 4,
+                   scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E4 — intro claim: GRP keeps groups alive longer than re-clustering baselines."""
     result = ExperimentResult(
         "E4", "VANET highway: membership churn and group lifetime, GRP vs baselines")
     n = 14 if quick else 30
     duration = 80.0 if quick else 200.0
-    deployment = vanet_highway(n=n, road_length=1500.0, radio_range=180.0, dmax=3,
-                               base_speed=22.0, lane_count=1, seed=seed)
+
+    def highway() -> GRPDeployment:
+        return _workload(scenario, seed, "vanet_highway", n=n, road_length=1500.0,
+                         radio_range=180.0, dmax=3, base_speed=22.0, lane_count=1)
+
+    deployment = highway()
     drivers = {
         "max-min": attach_baseline(deployment, MaxMinDCluster()),
         "lowest-id": attach_baseline(deployment, LowestIdClustering()),
@@ -174,8 +242,7 @@ def e4_vanet_churn(quick: bool = True, seed: int = 4) -> ExperimentResult:
     # the identical scenario (same seed → same trajectory).
     for name, algorithm in (("max-min", MaxMinDCluster()), ("lowest-id", LowestIdClustering()),
                             ("k-hop", KHopClustering())):
-        replay = vanet_highway(n=n, road_length=1500.0, radio_range=180.0, dmax=3,
-                               base_speed=22.0, lane_count=1, seed=seed)
+        replay = highway()
         driver = attach_baseline(replay, algorithm)
         baseline_samplers[name] = run_with_sampler(replay, duration=duration, warmup=40.0,
                                                    views_provider=driver.views)
@@ -196,13 +263,15 @@ def e4_vanet_churn(quick: bool = True, seed: int = 4) -> ExperimentResult:
 
 # --------------------------------------------------------------------------- E5
 
-def e5_partition_quality(quick: bool = True, seed: int = 5) -> ExperimentResult:
+def e5_partition_quality(quick: bool = True, seed: int = 5,
+                         scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E5 — related-work claim: GRP trades partition optimality for stability."""
     result = ExperimentResult(
         "E5", "Partition quality on static graphs: GRP vs clusterhead baselines")
     n = 16 if quick else 35
     duration = 90.0 if quick else 150.0
-    deployment = static_random(n=n, area=330.0, radio_range=130.0, dmax=3, seed=seed)
+    deployment = _workload(scenario, seed, "static_random", n=n, area=330.0,
+                           radio_range=130.0, dmax=3)
     sampler = run_with_sampler(deployment, duration=duration)
     final = sampler.last
     grp_quality = partition_quality(final)
@@ -231,12 +300,14 @@ def e5_partition_quality(quick: bool = True, seed: int = 5) -> ExperimentResult:
 
 # --------------------------------------------------------------------------- E6
 
-def e6_fault_recovery(quick: bool = True, seed: int = 6) -> ExperimentResult:
+def e6_fault_recovery(quick: bool = True, seed: int = 6,
+                      scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E6 — Propositions 1/2: ghost identities and oversized lists vanish in finite time."""
     result = ExperimentResult(
         "E6", "Self-stabilization after transient memory corruption")
     n = 12 if quick else 24
-    deployment = static_random(n=n, area=240.0, radio_range=110.0, dmax=3, seed=seed)
+    deployment = _workload(scenario, seed, "static_random", n=n, area=240.0,
+                           radio_range=110.0, dmax=3)
     run_with_sampler(deployment, duration=60.0)  # reach a legitimate configuration first
     injector = FaultInjector(deployment.network, rng=deployment.sim.spawn_rng())
     ghosts = [f"ghost-{i}" for i in range(3)]
@@ -262,7 +333,8 @@ def e6_fault_recovery(quick: bool = True, seed: int = 6) -> ExperimentResult:
 
 # --------------------------------------------------------------------------- E7
 
-def e7_quarantine_ablation(quick: bool = True, seed: int = 7) -> ExperimentResult:
+def e7_quarantine_ablation(quick: bool = True, seed: int = 7,
+                           scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E7 — ablation: the quarantine is what makes ΠT ⇒ ΠC hold."""
     result = ExperimentResult(
         "E7", "Quarantine ablation: view retractions with and without quarantine")
@@ -270,8 +342,8 @@ def e7_quarantine_ablation(quick: bool = True, seed: int = 7) -> ExperimentResul
     duration = 70.0 if quick else 150.0
     for label, quarantine in (("with quarantine", True), ("without quarantine", False)):
         config = GRPConfig(dmax=3, quarantine_enabled=quarantine)
-        deployment = static_random(n=n, area=300.0, radio_range=120.0, dmax=3,
-                                   seed=seed, config=config)
+        deployment = _workload(scenario, seed, "static_random", config=config,
+                               n=n, area=300.0, radio_range=120.0, dmax=3)
         sampler = run_with_sampler(deployment, duration=duration, sample_interval=1.0)
         summary = continuity_summary(sampler.transitions)
         result.add_row(
@@ -290,16 +362,19 @@ def e7_quarantine_ablation(quick: bool = True, seed: int = 7) -> ExperimentResul
 
 # --------------------------------------------------------------------------- E8
 
-def e8_overhead(quick: bool = True, seed: int = 8) -> ExperimentResult:
+def e8_overhead(quick: bool = True, seed: int = 8,
+                scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E8 — scalability: message and computation overhead vs n and Dmax."""
     result = ExperimentResult("E8", "Protocol overhead: messages, payloads, computations")
     sizes = [8, 16] if quick else [10, 20, 40, 60]
     dmaxes = [2, 4] if quick else [2, 3, 4, 5]
     duration = 40.0 if quick else 80.0
+    _note_undeclared(result, scenario, ("n", "dmax"))
     for n in sizes:
         for dmax in dmaxes:
-            deployment = static_random(n=n, area=60.0 * (n ** 0.5), radio_range=100.0,
-                                       dmax=dmax, seed=seed)
+            deployment = _workload(scenario, seed, "static_random",
+                                   area=60.0 * (n ** 0.5), radio_range=100.0,
+                                   forced={"n": n, "dmax": dmax})
             deployment.run(duration)
             summary = overhead_summary(deployment, duration)
             row = {"n": n, "dmax": dmax}
@@ -312,9 +387,11 @@ def e8_overhead(quick: bool = True, seed: int = 8) -> ExperimentResult:
 
 # --------------------------------------------------------------------------- E9
 
-def e9_merging(quick: bool = True, seed: int = 9) -> ExperimentResult:
+def e9_merging(quick: bool = True, seed: int = 9,
+               scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E9 — Propositions 11/12: neighbouring groups merge; group priorities break loops."""
     result = ExperimentResult("E9", "Group merging and the group-priority rule")
+    _structural_note(result, scenario, "E9")
     # Part 1 — two stabilized clusters brought into range must merge in O(Dmax).
     for dmax in ([2, 3] if quick else [2, 3, 4]):
         deployment, left, right = two_cluster_topology(cluster_size=3, gap=400.0, spacing=30.0,
@@ -359,11 +436,13 @@ def e9_merging(quick: bool = True, seed: int = 9) -> ExperimentResult:
 
 # -------------------------------------------------------------------------- E10
 
-def e10_compatibility(quick: bool = True, seed: int = 10) -> ExperimentResult:
+def e10_compatibility(quick: bool = True, seed: int = 10,
+                      scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
     """E10 — Proposition 13: the optimized compatibility test merges more, never unsafely."""
     result = ExperimentResult(
         "E10", "compatibleList: optimized (pairwise bounds) vs naive length test")
     duration = 130.0 if quick else 200.0
+    _structural_note(result, scenario, "the chain part of E10")
     # A chain whose two halves can only merge thanks to shortcut knowledge.
     chain_n = 6
     for label, optimized in (("optimized", True), ("naive", False)):
@@ -384,8 +463,8 @@ def e10_compatibility(quick: bool = True, seed: int = 10) -> ExperimentResult:
     for trial in range(trials):
         for label, optimized in (("optimized", True), ("naive", False)):
             config = GRPConfig(dmax=3, optimized_compatibility=optimized)
-            deployment = static_random(n=12, area=240.0, radio_range=110.0, dmax=3,
-                                       seed=seed + trial, config=config)
+            deployment = _workload(scenario, seed + trial, "static_random", config=config,
+                                   n=12, area=240.0, radio_range=110.0, dmax=3)
             sampler = run_with_sampler(deployment, duration=duration)
             final = sampler.last
             if final.report.legitimate:
@@ -438,12 +517,24 @@ AGGREGATE_KEYS: Dict[str, tuple] = {
 
 
 def run_experiment(experiment_id: str, quick: bool = True,
-                   seed: Optional[int] = None) -> ExperimentResult:
-    """Run one experiment by identifier (``"E1"`` … ``"E10"``)."""
+                   seed: Optional[int] = None,
+                   scenario: Optional[ScenarioSpec] = None) -> ExperimentResult:
+    """Run one experiment by identifier (``"E1"`` … ``"E10"``).
+
+    ``scenario`` optionally overrides the experiment's default workload with a
+    registered scenario spec (a :class:`~repro.scenarios.ScenarioSpec` or its
+    ``as_dict`` form).
+    """
     key = experiment_id.upper()
     if key not in ALL_EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; valid: {sorted(ALL_EXPERIMENTS)}")
     func = ALL_EXPERIMENTS[key]
-    if seed is None:
-        return func(quick=quick)
-    return func(quick=quick, seed=seed)
+    kwargs: Dict[str, object] = {"quick": quick}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if scenario is not None:
+        if isinstance(scenario, dict):
+            scenario = ScenarioSpec.from_dict(scenario)
+        # Normalized so result notes/labels agree with the built workload.
+        kwargs["scenario"] = normalize_spec(scenario)
+    return func(**kwargs)

@@ -14,7 +14,7 @@ exactly the same code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Hashable, List, Optional
 
 import networkx as nx

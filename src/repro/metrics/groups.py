@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Sequence
 
-import networkx as nx
-
 from repro.net.topology import subgraph_diameter
 
 from .collectors import ConfigurationSample

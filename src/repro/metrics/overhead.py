@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable
+from typing import Dict
 
 from repro.core.messages import GRPMessage
 from repro.core.protocol import GRPDeployment

@@ -7,11 +7,25 @@ so the output stays dependency-free and diff-friendly.
 
 from __future__ import annotations
 
+import math
 import statistics
 from typing import Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["format_table", "print_table", "format_value", "aggregate_rows",
-           "group_rows", "ordered_columns"]
+           "group_rows", "ordered_columns", "safe_pstdev"]
+
+
+def safe_pstdev(values: Sequence[float]) -> float:
+    """Population standard deviation, tolerating non-finite data.
+
+    ``statistics.pstdev`` chokes on inf/NaN entries (and a spread around an
+    infinite mean is meaningless anyway) — yet some metrics are legitimately
+    infinite, e.g. the diameter of a momentarily disconnected group.  Those
+    inputs yield ``nan`` instead of an exception.
+    """
+    if all(math.isfinite(float(v)) for v in values):
+        return statistics.pstdev(values)
+    return float("nan")
 
 
 def format_value(value: object) -> str:
@@ -118,7 +132,7 @@ def aggregate_rows(rows: Sequence[Dict[str, object]],
                     summary[column] = f"{format_value(fraction)} yes"
             elif all(_is_numeric(v) for v in present):
                 mean = statistics.fmean(present)
-                std = statistics.pstdev(present)
+                std = safe_pstdev(present)
                 summary[column] = f"{format_value(mean)} ± {format_value(std)}"
             elif len(set(map(str, present))) == 1:
                 summary[column] = present[0]

@@ -10,7 +10,7 @@ random on/off process.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence
 
 import numpy as np
 

@@ -1,0 +1,186 @@
+"""Manhattan-grid (urban street) mobility.
+
+Nodes move along the streets of a regular city grid: horizontal and vertical
+streets spaced ``block_size`` apart over a square area.  A node travels at
+constant speed along its current street and, on reaching an intersection,
+keeps going straight or turns onto the crossing street according to the
+classic Manhattan-model probabilities (turns split evenly between left and
+right).  At the area boundary the node makes a U-turn.
+
+Compared with random waypoint, the grid correlates trajectories — nodes
+funnel down the same streets, meet at intersections and part at the next one
+— which produces the burst-merge/burst-split group dynamics typical of urban
+VANET traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .base import MobilityModel
+
+__all__ = ["ManhattanGridMobility"]
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class _WalkerState:
+    axis: int        # 0: moving along x (horizontal street), 1: along y
+    direction: int   # +1 or -1 along the axis
+
+
+class ManhattanGridMobility(MobilityModel):
+    """Constant-speed movement constrained to a regular street grid.
+
+    Parameters
+    ----------
+    area:
+        Side length of the square city.  The street grid spans the largest
+        multiple of ``block_size`` that fits (``extent``); nodes live on
+        ``[0, extent]`` on both axes, so every border coordinate is a real
+        street and movement is continuous.
+    block_size:
+        Distance between two parallel streets; intersections sit at integer
+        multiples of it.
+    speed:
+        Travel speed (distance units per simulated second).
+    turn_probability:
+        Probability of turning onto the crossing street at an intersection
+        (split evenly between the two turn directions); with the remaining
+        probability the node continues straight.
+    """
+
+    def __init__(self, area: float, block_size: float, speed: float,
+                 turn_probability: float = 0.5, step_interval: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(step_interval=step_interval, rng=rng)
+        if area <= 0 or block_size <= 0:
+            raise ValueError("area and block_size must be positive")
+        if block_size > area:
+            raise ValueError("block_size must not exceed the area side")
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        if not 0.0 <= turn_probability <= 1.0:
+            raise ValueError("turn_probability must be in [0, 1]")
+        self.area = float(area)
+        self.block_size = float(block_size)
+        #: Side of the actual street grid: the largest block multiple inside
+        #: ``area``.  All placement and border logic uses it, so a node can
+        #: never sit on a coordinate with no street to turn onto.
+        self.extent = int(self.area / self.block_size) * self.block_size
+        self.speed = float(speed)
+        self.turn_probability = float(turn_probability)
+        self._states: Dict[Hashable, _WalkerState] = {}
+
+    # -------------------------------------------------------------- internals
+
+    @property
+    def _street_count(self) -> int:
+        """Number of parallel streets per axis (street 0 sits on the border)."""
+        return int(self.extent / self.block_size) + 1
+
+    def _snap(self, value: float) -> float:
+        """Coordinate of the street line closest to ``value``."""
+        street = round(value / self.block_size)
+        street = min(max(street, 0), self._street_count - 1)
+        return street * self.block_size
+
+    def _state_of(self, node: Hashable) -> _WalkerState:
+        state = self._states.get(node)
+        if state is None:
+            state = _WalkerState(axis=int(self._rng.integers(0, 2)),
+                                 direction=1 if self._rng.random() < 0.5 else -1)
+            self._states[node] = state
+        return state
+
+    def _turn(self, state: _WalkerState) -> None:
+        """Apply one intersection decision."""
+        draw = self._rng.random()
+        if draw < self.turn_probability:
+            # Turn onto the crossing street; the second draw picks the side.
+            state.axis = 1 - state.axis
+            state.direction = 1 if self._rng.random() < 0.5 else -1
+        # Going straight keeps axis and direction; U-turns at the border are
+        # forced afterwards whatever was decided here.
+
+    # ------------------------------------------------------------------- API
+
+    def initial_positions(self, node_ids, **kwargs) -> Dict[Hashable, Point]:
+        """Place every node uniformly at random along a random street."""
+        positions: Dict[Hashable, Point] = {}
+        for node in node_ids:
+            state = self._state_of(node)
+            along = float(self._rng.uniform(0, self.extent))
+            across = self._snap(float(self._rng.uniform(0, self.extent)))
+            if state.axis == 0:
+                positions[node] = (along, across)
+            else:
+                positions[node] = (across, along)
+        return positions
+
+    def step(self, positions: Mapping[Hashable, Point], dt: float) -> Dict[Hashable, Point]:
+        new_positions: Dict[Hashable, Point] = {}
+        for node, position in positions.items():
+            state = self._state_of(node)
+            # Re-snap the off-axis coordinate: nodes the model never placed
+            # (e.g. added mid-run) may sit between streets.
+            if state.axis == 0:
+                along, across = position[0], self._snap(position[1])
+            else:
+                along, across = position[1], self._snap(position[0])
+            remaining = self.speed * dt
+            while remaining > 1e-12:
+                target = self._next_intersection(along, state.direction)
+                gap = abs(target - along)
+                if gap <= 1e-12:
+                    # Pressed against a border (degenerate float state): snap
+                    # exactly onto it and bounce inward, without consuming an
+                    # intersection decision.  Deciding by the nearer border
+                    # (not by `along <= 0`) matters: a coordinate a hair above
+                    # 0 must still bounce upward or the loop never progresses.
+                    if along <= self.extent / 2:
+                        along, state.direction = 0.0, 1
+                    else:
+                        along, state.direction = self.extent, -1
+                    continue
+                if gap > remaining:
+                    along += state.direction * remaining
+                    remaining = 0.0
+                    break
+                along = target
+                remaining -= gap
+                at_border = along <= 0.0 or along >= self.extent
+                previous_axis = state.axis
+                self._turn(state)
+                if state.axis != previous_axis:
+                    # The travel coordinate and the street coordinate swap.
+                    along, across = across, along
+                    at_border = along <= 0.0 or along >= self.extent
+                if at_border:
+                    if along <= 0.0:
+                        state.direction = 1
+                    elif along >= self.extent:
+                        state.direction = -1
+            along = min(max(along, 0.0), self.extent)
+            if state.axis == 0:
+                new_positions[node] = (along, across)
+            else:
+                new_positions[node] = (across, along)
+        return new_positions
+
+    def _next_intersection(self, along: float, direction: int) -> float:
+        """Coordinate of the next intersection strictly ahead of ``along``."""
+        step = self.block_size
+        if direction > 0:
+            nxt = (int(along / step) + 1) * step
+            if nxt - along < 1e-12:
+                nxt += step
+            return min(nxt, self.extent)
+        nxt = (int(np.ceil(along / step)) - 1) * step
+        if along - nxt < 1e-12:
+            nxt -= step
+        return max(nxt, 0.0)

@@ -126,7 +126,8 @@ class FaultInjector:
     # -------------------------------------------------------------- batches
 
     def random_memory_corruption(self, fraction: float = 0.3,
-                                 ghost_pool: Optional[Sequence[Hashable]] = None) -> List[Hashable]:
+                                 ghost_pool: Optional[Sequence[Hashable]] = None,
+                                 ) -> List[Hashable]:
         """Corrupt a random fraction of the nodes in one shot.
 
         Each selected node gets a ghost identity (when a pool is provided) and a

@@ -129,9 +129,25 @@ class Network:
         self._generation += 1
 
     def set_positions(self, positions: Mapping[Hashable, Point]) -> None:
-        """Update several node positions at once."""
-        for node_id, pos in positions.items():
-            self.set_position(node_id, pos)
+        """Update several node positions at once (one generation bump).
+
+        Unlike a loop of :meth:`set_position` calls, a batch teleport
+        invalidates the topology snapshots exactly once.  Unknown node ids are
+        rejected before any position changes, so a failed call leaves the
+        network untouched.
+        """
+        updates: Dict[Hashable, Point] = {}
+        for node_id, position in positions.items():
+            if node_id not in self._processes:
+                raise KeyError(f"unknown node {node_id!r}")
+            updates[node_id] = (float(position[0]), float(position[1]))
+        if not updates:
+            return
+        for node_id, pos in updates.items():
+            self._positions[node_id] = pos
+            if self._index is not None:
+                self._index.update(node_id, pos)
+        self._generation += 1
 
     def invalidate_topology(self) -> None:
         """Force the next snapshot/neighbour query to recompute.
@@ -202,7 +218,11 @@ class Network:
 
     def add_position_listener(self,
                               listener: Callable[[float, Dict[Hashable, Point]], None]) -> None:
-        """Register a callback invoked after each mobility step with (time, positions)."""
+        """Register a callback invoked after each mobility step with (time, positions).
+
+        All listeners of one step receive the *same* snapshot dict; treat it
+        as read-only (copy before mutating).
+        """
         self._position_listeners.append(listener)
 
     def start_mobility(self, interval: Optional[float] = None) -> None:
@@ -229,8 +249,13 @@ class Network:
                 if self._index is not None:
                     self._index.update(node_id, pos)
             self._generation += 1
-            for listener in self._position_listeners:
-                listener(self.sim.now, dict(self._positions))
+            if self._position_listeners:
+                # One shared snapshot per step: copying the whole position map
+                # once instead of once per listener.
+                snapshot = dict(self._positions)
+                now = self.sim.now
+                for listener in self._position_listeners:
+                    listener(now, snapshot)
 
         self._mobility_handle = self.sim.call_every(step, _move)
 

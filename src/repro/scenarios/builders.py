@@ -1,0 +1,380 @@
+"""Registered scenario builders.
+
+The nine historical workloads of ``repro.experiments.scenarios`` live here as
+registry entries (that module keeps thin deprecated aliases), plus three newer
+regimes: urban Manhattan-grid mobility, flash-crowd join/leave bursts, and a
+sparse intermittently-connected field over a lossy delayed channel.
+
+Every builder is a pure function of ``(seed, config, **params)``: all random
+streams derive from the seed (via :class:`~repro.sim.randomness.SeedSequenceFactory`),
+so the same spec and seed always produce a bit-identical deployment.
+Structural scenarios publish their layout through
+``deployment.scenario_metadata`` (e.g. the two cluster member lists).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.node import GRPConfig
+from repro.core.protocol import GRPDeployment, build_grp_network
+from repro.mobility.churn import ChurnEvent, ChurnSchedule
+from repro.mobility.highway import HighwayMobility
+from repro.mobility.manhattan import ManhattanGridMobility
+from repro.mobility.random_walk import RandomWalkMobility
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.mobility.rpgm import ReferencePointGroupMobility
+from repro.net.channel import LossyChannel
+from repro.net.geometry import line_positions, random_positions
+from repro.sim.randomness import SeedSequenceFactory
+
+from .registry import ScenarioParameter, scenario
+
+__all__: List[str] = []  # Everything is consumed through the registry.
+
+
+def _config(config: Optional[GRPConfig], dmax: int) -> GRPConfig:
+    return config if config is not None else GRPConfig(dmax=dmax)
+
+
+def _p(name: str, kind: str, default: object, description: str) -> ScenarioParameter:
+    return ScenarioParameter(name=name, kind=kind, default=default, description=description)
+
+
+# ------------------------------------------------------------ static layouts
+
+@scenario(
+    "static_random",
+    "Uniformly random static placement in a square area",
+    [_p("n", "int", 20, "number of nodes"),
+     _p("area", "float", 300.0, "side of the square area"),
+     _p("radio_range", "float", 110.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("loss_probability", "float", 0.0, "per-receiver message loss probability")],
+    tags=("static",))
+def static_random(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
+                  radio_range: float, dmax: int, loss_probability: float) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    positions = random_positions(range(n), area=(area, area), rng=seeds.stream("placement"))
+    return build_grp_network(positions, cfg, radio_range=radio_range,
+                             loss_probability=loss_probability, seed=seed)
+
+
+@scenario(
+    "line_topology",
+    "Chain of equally spaced static nodes",
+    [_p("n", "int", 6, "number of nodes"),
+     _p("spacing", "float", 45.0, "distance between consecutive nodes"),
+     _p("radio_range", "float", 50.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound")],
+    tags=("static", "structural"))
+def line_topology(*, seed: int, config: Optional[GRPConfig], n: int, spacing: float,
+                  radio_range: float, dmax: int) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    positions = line_positions(range(n), spacing=spacing)
+    return build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
+
+
+@scenario(
+    "two_cluster_topology",
+    "Two tight static clusters separated by a gap (merging experiment)",
+    [_p("cluster_size", "int", 3, "nodes per cluster"),
+     _p("gap", "float", 400.0, "distance between the clusters"),
+     _p("spacing", "float", 30.0, "intra-cluster node spacing"),
+     _p("radio_range", "float", 90.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound")],
+    tags=("static", "structural"))
+def two_cluster_topology(*, seed: int, config: Optional[GRPConfig], cluster_size: int,
+                         gap: float, spacing: float, radio_range: float,
+                         dmax: int) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    positions: Dict[Hashable, Tuple[float, float]] = {}
+    left = list(range(cluster_size))
+    right = list(range(cluster_size, 2 * cluster_size))
+    for index, node in enumerate(left):
+        positions[node] = (index * spacing, 0.0)
+    offset = (cluster_size - 1) * spacing + gap
+    for index, node in enumerate(right):
+        positions[node] = (offset + index * spacing, 0.0)
+    deployment = build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
+    deployment.scenario_metadata = {"left": left, "right": right}
+    return deployment
+
+
+@scenario(
+    "ring_of_clusters",
+    "Static clusters on a circle, each in range of both neighbours",
+    [_p("cluster_count", "int", 4, "number of clusters on the ring"),
+     _p("cluster_size", "int", 3, "nodes per cluster"),
+     _p("ring_radius", "float", 110.0, "radius of the ring of cluster centres"),
+     _p("cluster_radius", "float", 18.0, "spread of one cluster around its centre"),
+     _p("radio_range", "float", 120.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound")],
+    tags=("static", "structural"))
+def ring_of_clusters(*, seed: int, config: Optional[GRPConfig], cluster_count: int,
+                     cluster_size: int, ring_radius: float, cluster_radius: float,
+                     radio_range: float, dmax: int) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    rng = seeds.stream("placement")
+    positions: Dict[Hashable, Tuple[float, float]] = {}
+    clusters: List[List] = []
+    node_id = 0
+    for index in range(cluster_count):
+        angle = 2 * math.pi * index / cluster_count
+        cx = ring_radius * math.cos(angle) + ring_radius
+        cy = ring_radius * math.sin(angle) + ring_radius
+        members = []
+        for _ in range(cluster_size):
+            dx, dy = rng.uniform(-cluster_radius, cluster_radius, size=2)
+            positions[node_id] = (cx + float(dx), cy + float(dy))
+            members.append(node_id)
+            node_id += 1
+        clusters.append(members)
+    deployment = build_grp_network(positions, cfg, radio_range=radio_range, seed=seed)
+    deployment.scenario_metadata = {"clusters": clusters}
+    return deployment
+
+
+# ----------------------------------------------------------- mobile regimes
+
+@scenario(
+    "manet_waypoint",
+    "Random-waypoint MANET in a square area",
+    [_p("n", "int", 20, "number of nodes"),
+     _p("area", "float", 300.0, "side of the square area"),
+     _p("radio_range", "float", 120.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("speed", "float", 2.0, "max node speed (min is half of it)"),
+     _p("pause_time", "float", 0.0, "pause at each waypoint"),
+     _p("loss_probability", "float", 0.0, "per-receiver message loss probability")],
+    tags=("mobile",))
+def manet_waypoint(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
+                   radio_range: float, dmax: int, speed: float, pause_time: float,
+                   loss_probability: float) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = RandomWaypointMobility((area, area), min_speed=speed * 0.5, max_speed=speed,
+                                      pause_time=pause_time, rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n))
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed)
+
+
+@scenario(
+    "vanet_highway",
+    "Multi-lane ring-road VANET with per-lane speeds",
+    [_p("n", "int", 18, "number of vehicles"),
+     _p("road_length", "float", 1500.0, "length of the ring road"),
+     _p("radio_range", "float", 180.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("lane_count", "int", 2, "number of lanes"),
+     _p("base_speed", "float", 25.0, "nominal speed of the slowest lane"),
+     _p("spacing", "float", 40.0, "initial bumper-to-bumper spacing"),
+     _p("loss_probability", "float", 0.0, "per-receiver message loss probability")],
+    tags=("mobile", "vanet"))
+def vanet_highway(*, seed: int, config: Optional[GRPConfig], n: int, road_length: float,
+                  radio_range: float, dmax: int, lane_count: int, base_speed: float,
+                  spacing: float, loss_probability: float) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = HighwayMobility(road_length=road_length, lane_count=lane_count,
+                               base_speed=base_speed, rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n), spacing=spacing)
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed)
+
+
+@scenario(
+    "rpgm_scenario",
+    "Reference-point group mobility: convoys moving together",
+    [_p("group_sizes", "int_tuple", (4, 4, 3), "nodes per convoy (e.g. 4+4+3)"),
+     _p("area", "float", 300.0, "side of the square area"),
+     _p("radio_range", "float", 100.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("group_speed", "float", 4.0, "speed of each convoy's reference point"),
+     _p("member_radius", "float", 30.0, "member spread around the reference point")],
+    tags=("mobile", "group"))
+def rpgm_scenario(*, seed: int, config: Optional[GRPConfig], group_sizes: Tuple[int, ...],
+                  area: float, radio_range: float, dmax: int, group_speed: float,
+                  member_radius: float) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    groups: List[List[int]] = []
+    node_id = 0
+    for size in group_sizes:
+        groups.append(list(range(node_id, node_id + size)))
+        node_id += size
+    mobility = ReferencePointGroupMobility((area, area), groups, group_speed=group_speed,
+                                           member_radius=member_radius,
+                                           rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions([n for group in groups for n in group])
+    deployment = build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                                   seed=seed)
+    deployment.scenario_metadata = {"groups": groups}
+    return deployment
+
+
+# ------------------------------------------------------ large-scale regimes
+
+@scenario(
+    "large_manet_waypoint",
+    "Thousand-node random-waypoint field (large-network asymptotics)",
+    [_p("n", "int", 1000, "number of nodes"),
+     _p("area", "float", 2000.0, "side of the square area"),
+     _p("radio_range", "float", 120.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("speed", "float", 10.0, "max node speed (min is half of it)"),
+     _p("pause_time", "float", 0.0, "pause at each waypoint"),
+     _p("loss_probability", "float", 0.0, "per-receiver message loss probability"),
+     _p("use_spatial_index", "bool", True, "serve neighbour queries from the grid index")],
+    tags=("mobile", "large"))
+def large_manet_waypoint(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
+                         radio_range: float, dmax: int, speed: float, pause_time: float,
+                         loss_probability: float, use_spatial_index: bool) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = RandomWaypointMobility((area, area), min_speed=speed * 0.5, max_speed=speed,
+                                      pause_time=pause_time, rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n))
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed,
+                             use_spatial_index=use_spatial_index)
+
+
+@scenario(
+    "dense_highway_convoy",
+    "Dense bumper-to-bumper VANET convoy across many lanes",
+    [_p("n", "int", 600, "number of vehicles"),
+     _p("road_length", "float", 3000.0, "length of the ring road"),
+     _p("radio_range", "float", 200.0, "unit-disk radio range"),
+     _p("dmax", "int", 4, "group diameter bound"),
+     _p("lane_count", "int", 6, "number of lanes"),
+     _p("base_speed", "float", 25.0, "nominal speed of the slowest lane"),
+     _p("spacing", "float", 15.0, "initial bumper-to-bumper spacing"),
+     _p("loss_probability", "float", 0.0, "per-receiver message loss probability"),
+     _p("use_spatial_index", "bool", True, "serve neighbour queries from the grid index")],
+    tags=("mobile", "vanet", "large"))
+def dense_highway_convoy(*, seed: int, config: Optional[GRPConfig], n: int,
+                         road_length: float, radio_range: float, dmax: int, lane_count: int,
+                         base_speed: float, spacing: float, loss_probability: float,
+                         use_spatial_index: bool) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = HighwayMobility(road_length=road_length, lane_count=lane_count,
+                               base_speed=base_speed, rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n), spacing=spacing)
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed,
+                             use_spatial_index=use_spatial_index)
+
+
+# ------------------------------------------------------------- new regimes
+
+@scenario(
+    "manhattan_grid",
+    "Urban Manhattan-grid mobility: nodes funnel down city streets",
+    [_p("n", "int", 40, "number of nodes"),
+     _p("area", "float", 600.0, "side of the square city"),
+     _p("block_size", "float", 100.0, "distance between parallel streets"),
+     _p("radio_range", "float", 100.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("speed", "float", 8.0, "travel speed along the streets"),
+     _p("turn_probability", "float", 0.5, "probability of turning at an intersection"),
+     _p("loss_probability", "float", 0.0, "per-receiver message loss probability")],
+    tags=("mobile", "urban"))
+def manhattan_grid(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
+                   block_size: float, radio_range: float, dmax: int, speed: float,
+                   turn_probability: float, loss_probability: float) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = ManhattanGridMobility(area=area, block_size=block_size, speed=speed,
+                                     turn_probability=turn_probability,
+                                     rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n))
+    return build_grp_network(positions, cfg, radio_range=radio_range, mobility=mobility,
+                             loss_probability=loss_probability, seed=seed)
+
+
+@scenario(
+    "flash_crowd",
+    "Join/leave bursts: waves of nodes power off and return together",
+    [_p("n", "int", 30, "number of nodes"),
+     _p("area", "float", 400.0, "side of the square area"),
+     _p("radio_range", "float", 130.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("speed", "float", 1.5, "max node speed (0 keeps the field static)"),
+     _p("burst_fraction", "float", 0.3, "fraction of nodes leaving per burst"),
+     _p("burst_period", "float", 30.0, "time between consecutive bursts"),
+     _p("off_time", "float", 10.0, "how long a burst stays away"),
+     _p("first_burst", "float", 40.0, "time of the first burst (after stabilization)"),
+     _p("horizon", "float", 400.0, "schedule bursts up to this simulated time"),
+     _p("loss_probability", "float", 0.0, "per-receiver message loss probability")],
+    tags=("mobile", "churn"))
+def flash_crowd(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
+                radio_range: float, dmax: int, speed: float, burst_fraction: float,
+                burst_period: float, off_time: float, first_burst: float, horizon: float,
+                loss_probability: float) -> GRPDeployment:
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError("burst_fraction must be in [0, 1]")
+    if burst_period <= 0 or off_time <= 0:
+        raise ValueError("burst_period and off_time must be positive")
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = None
+    if speed > 0:
+        mobility = RandomWaypointMobility((area, area), min_speed=speed * 0.5,
+                                          max_speed=speed, rng=seeds.stream("mobility"))
+        positions = mobility.initial_positions(range(n))
+    else:
+        positions = random_positions(range(n), area=(area, area),
+                                     rng=seeds.stream("placement"))
+    deployment = build_grp_network(positions, cfg, radio_range=radio_range,
+                                   mobility=mobility, loss_probability=loss_probability,
+                                   seed=seed)
+    churn_rng = seeds.stream("churn")
+    burst_size = max(1, int(round(burst_fraction * n)))
+    events: List[ChurnEvent] = []
+    time = first_burst
+    while time < horizon:
+        # Node ids are a fixed ordered range, so the draw never depends on
+        # set-iteration order (PYTHONHASHSEED independence).
+        leavers = sorted(int(i) for i in churn_rng.choice(n, size=burst_size, replace=False))
+        for node in leavers:
+            events.append(ChurnEvent(time=time, node_id=node, active=False))
+            events.append(ChurnEvent(time=time + off_time, node_id=node, active=True))
+        time += burst_period
+    schedule = ChurnSchedule(events)
+    schedule.install(deployment.network)
+    deployment.scenario_metadata = {"churn_schedule": schedule, "burst_size": burst_size}
+    return deployment
+
+
+@scenario(
+    "sparse_lossy_field",
+    "Sparse intermittently-connected field over a lossy delayed channel",
+    [_p("n", "int", 40, "number of nodes"),
+     _p("area", "float", 1500.0, "side of the square area (sparse by default)"),
+     _p("radio_range", "float", 100.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("speed", "float", 1.0, "random-walk speed"),
+     _p("turn_interval", "float", 10.0, "time between random heading changes"),
+     _p("loss_probability", "float", 0.3, "per-receiver message loss probability"),
+     _p("min_delay", "float", 0.05, "minimum channel delivery delay"),
+     _p("max_delay", "float", 0.2, "maximum channel delivery delay")],
+    tags=("mobile", "sparse", "lossy"))
+def sparse_lossy_field(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
+                       radio_range: float, dmax: int, speed: float, turn_interval: float,
+                       loss_probability: float, min_delay: float,
+                       max_delay: float) -> GRPDeployment:
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    mobility = RandomWalkMobility((area, area), speed=speed, turn_interval=turn_interval,
+                                  rng=seeds.stream("mobility"))
+    positions = mobility.initial_positions(range(n))
+    channel = LossyChannel(loss_probability=loss_probability, min_delay=min_delay,
+                           max_delay=max_delay)
+    return build_grp_network(positions, cfg, radio_range=radio_range, channel=channel,
+                             mobility=mobility, seed=seed)

@@ -1,0 +1,243 @@
+"""The scenario registry: named builders with declared parameter schemas.
+
+Every workload the harness can run is registered here as a
+:class:`ScenarioDefinition`: a name, a one-line description, a typed parameter
+schema with defaults, and a builder returning a ready-to-run
+:class:`~repro.core.protocol.GRPDeployment`.  The registry is the single
+source of truth consumed by
+
+* the experiment suite (default workloads and ``--scenario`` overrides),
+* the campaign layer (scenario axes of a result grid),
+* the CLI (``--scenario`` / ``--set`` / ``--sweep`` / ``--list-scenarios``),
+* the documentation (the README scenario catalog is rendered from it).
+
+Determinism contract: :func:`build` is a pure function of
+``(spec, seed, config)`` — the same arguments always produce a bit-identical
+deployment, whatever process builds it.  Builders must derive every random
+stream from the given seed (conventionally through
+:class:`repro.sim.randomness.SeedSequenceFactory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from .spec import ScenarioSpec
+
+__all__ = ["REQUIRED", "ScenarioParameter", "ScenarioDefinition", "register_scenario",
+           "scenario", "get_scenario", "scenario_names", "scenario_definitions",
+           "build", "normalize_spec", "parameter_names", "format_catalog"]
+
+#: Sentinel default marking a parameter that every spec must provide.
+REQUIRED = object()
+
+_TRUE_STRINGS = frozenset(("1", "true", "yes", "on"))
+_FALSE_STRINGS = frozenset(("0", "false", "no", "off"))
+
+
+@dataclass(frozen=True)
+class ScenarioParameter:
+    """One declared scenario parameter: name, kind, default, description.
+
+    ``kind`` is one of ``"int"``, ``"float"``, ``"bool"``, ``"str"`` and
+    ``"int_tuple"`` (a ``+``-separated list on the command line, e.g.
+    ``group_sizes=4+4+3``).
+    """
+
+    name: str
+    kind: str
+    default: object = REQUIRED
+    description: str = ""
+
+    KINDS = ("int", "float", "bool", "str", "int_tuple")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown parameter kind {self.kind!r}; valid: {self.KINDS}")
+
+    @property
+    def required(self) -> bool:
+        """Whether the parameter has no default."""
+        return self.default is REQUIRED
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` (possibly a CLI string) to the declared kind."""
+        try:
+            if self.kind == "int":
+                if isinstance(value, bool):
+                    raise ValueError("bool is not an int")
+                return int(value)
+            if self.kind == "float":
+                if isinstance(value, bool):
+                    raise ValueError("bool is not a float")
+                return float(value)
+            if self.kind == "bool":
+                if isinstance(value, bool):
+                    return value
+                text = str(value).strip().lower()
+                if text in _TRUE_STRINGS:
+                    return True
+                if text in _FALSE_STRINGS:
+                    return False
+                raise ValueError(f"not a boolean: {value!r}")
+            if self.kind == "int_tuple":
+                if isinstance(value, str):
+                    parts = [p for p in value.split("+") if p]
+                else:
+                    parts = list(value)
+                result = tuple(int(p) for p in parts)
+                if not result:
+                    raise ValueError("empty tuple")
+                return result
+            return str(value)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"parameter {self.name!r} expects kind {self.kind!r}, "
+                f"got {value!r} ({exc})") from None
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """A registered scenario: builder plus declared parameter schema."""
+
+    name: str
+    description: str
+    parameters: Tuple[ScenarioParameter, ...]
+    builder: Callable[..., object]
+    tags: Tuple[str, ...] = field(default=())
+
+    def parameter(self, name: str) -> ScenarioParameter:
+        """The declared parameter called ``name``."""
+        for param in self.parameters:
+            if param.name == name:
+                return param
+        raise KeyError(f"scenario {self.name!r} has no parameter {name!r}; "
+                       f"valid: {[p.name for p in self.parameters]}")
+
+    def defaults(self) -> Dict[str, object]:
+        """Default value of every optional parameter."""
+        return {p.name: p.default for p in self.parameters if not p.required}
+
+    def resolve_params(self, explicit: Mapping[str, object]) -> Dict[str, object]:
+        """Merge ``explicit`` over the defaults, validating and coercing.
+
+        Unknown and missing-required parameters raise ``ValueError`` so a
+        typo'd ``--set`` flag fails before any simulation runs.
+        """
+        declared = {p.name: p for p in self.parameters}
+        unknown = sorted(set(explicit) - set(declared))
+        if unknown:
+            raise ValueError(f"unknown parameter(s) {unknown} for scenario {self.name!r}; "
+                             f"valid: {sorted(declared)}")
+        resolved: Dict[str, object] = {}
+        for param in self.parameters:
+            if param.name in explicit:
+                resolved[param.name] = param.coerce(explicit[param.name])
+            elif param.required:
+                raise ValueError(
+                    f"scenario {self.name!r} requires parameter {param.name!r}")
+            else:
+                resolved[param.name] = param.default
+        return resolved
+
+
+_REGISTRY: Dict[str, ScenarioDefinition] = {}
+
+
+def register_scenario(definition: ScenarioDefinition) -> ScenarioDefinition:
+    """Add a definition to the registry (duplicate names are an error)."""
+    if definition.name in _REGISTRY:
+        raise ValueError(f"scenario {definition.name!r} is already registered")
+    _REGISTRY[definition.name] = definition
+    return definition
+
+
+def scenario(name: str, description: str, parameters: List[ScenarioParameter],
+             tags: Tuple[str, ...] = ()) -> Callable:
+    """Decorator registering a builder function as a scenario.
+
+    The builder is called as ``builder(seed=..., config=..., **params)`` with
+    every declared parameter resolved, and must return a
+    :class:`~repro.core.protocol.GRPDeployment`.
+    """
+    def decorate(builder: Callable) -> Callable:
+        register_scenario(ScenarioDefinition(
+            name=name, description=description, parameters=tuple(parameters),
+            builder=builder, tags=tuple(tags)))
+        return builder
+    return decorate
+
+
+def get_scenario(name: str) -> ScenarioDefinition:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; valid: {scenario_names()}") from None
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def scenario_definitions() -> List[ScenarioDefinition]:
+    """Every registered definition, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def parameter_names(name: str) -> List[str]:
+    """Declared parameter names of the scenario called ``name``."""
+    return [p.name for p in get_scenario(name).parameters]
+
+
+def normalize_spec(spec: ScenarioSpec) -> ScenarioSpec:
+    """Coerce the spec's explicit parameters through the registry schema.
+
+    Defaults are *not* filled in (specs stay minimal, labels stay compact),
+    but every explicit value takes its canonical type — so
+    ``create("static_random", n=8.0)``, ``n="8"`` and ``n=8`` normalize to the
+    same spec, and label / seed-derivation / hash always describe the workload
+    that actually builds.  Unknown scenarios or parameters raise.
+    """
+    definition = get_scenario(spec.name)
+    unknown = sorted(set(spec.param_dict) - {p.name for p in definition.parameters})
+    if unknown:
+        raise ValueError(f"unknown parameter(s) {unknown} for scenario {spec.name!r}; "
+                         f"valid: {sorted(p.name for p in definition.parameters)}")
+    coerced = {name: definition.parameter(name).coerce(value)
+               for name, value in spec.params}
+    return ScenarioSpec(name=spec.name, params=tuple(coerced.items()))
+
+
+def build(spec: ScenarioSpec, seed: int = 0, config: Optional[object] = None):
+    """Build the deployment described by ``spec``.
+
+    Parameters declared by the scenario but absent from the spec take their
+    registry defaults; unknown parameters raise ``ValueError``.  ``config``
+    optionally forces the :class:`~repro.core.node.GRPConfig` shared by all
+    nodes (experiments use it for protocol ablations); builders fall back to
+    ``GRPConfig(dmax=dmax)`` when it is ``None``, exactly like the historical
+    ad-hoc builder functions.
+    """
+    definition = get_scenario(spec.name)
+    params = definition.resolve_params(spec.param_dict)
+    return definition.builder(seed=int(seed), config=config, **params)
+
+
+def format_catalog(verbose: bool = True) -> str:
+    """Human-readable catalog of every registered scenario.
+
+    Printed by ``--list-scenarios`` and pasted (regenerated) into the README.
+    """
+    lines: List[str] = []
+    for definition in scenario_definitions():
+        lines.append(f"{definition.name}: {definition.description}")
+        if not verbose:
+            continue
+        for param in definition.parameters:
+            default = "required" if param.required else f"default {param.default!r}"
+            detail = f" — {param.description}" if param.description else ""
+            lines.append(f"    {param.name} ({param.kind}, {default}){detail}")
+    return "\n".join(lines)

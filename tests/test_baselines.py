@@ -8,7 +8,6 @@ from repro.baselines.kclustering import KHopClustering
 from repro.baselines.lowest_id import LowestIdClustering
 from repro.baselines.maxmin import MaxMinDCluster
 from repro.core.predicates import agreement
-from repro.net.topology import subgraph_diameter
 
 
 def random_geometric(n, radius, seed):

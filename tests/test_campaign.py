@@ -1,6 +1,5 @@
 """Tests for the campaign orchestrator: spec, store, executors, aggregation."""
 
-import json
 
 import pytest
 
@@ -102,6 +101,23 @@ class TestResultStore:
     def test_missing_file_loads_empty(self, tmp_path):
         assert ResultStore(tmp_path / "absent.jsonl").load() == []
 
+    def test_pre_scenario_records_still_load(self, tmp_path):
+        # Stores written before the scenario axis existed have no "scenario"
+        # key; they must keep loading (and resuming) unchanged.
+        spec = small_spec()
+        task = spec.expand()[0]
+        record = make_record(spec, task)
+        data = record.as_dict()
+        del data["scenario"]
+        path = tmp_path / "old-store.jsonl"
+        import json as _json
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(_json.dumps(data) + "\n")
+        loaded = ResultStore(path).load()
+        assert len(loaded) == 1
+        assert loaded[0].scenario is None
+        assert loaded[0].task_id == task.task_id
+
 
 class TestExecutor:
     def test_serial_and_parallel_reports_identical(self, tmp_path):
@@ -121,7 +137,8 @@ class TestExecutor:
         # (whose executed/resumed counts legitimately differ).
         resumed = run_campaign(spec, store=ResultStore(tmp_path / "p.jsonl"), jobs=1)
         assert resumed.executed == 0 and resumed.skipped == 2
-        body = lambda result: deterministic_report(result).split("\n\n", 1)[1]
+        def body(result):
+            return deterministic_report(result).split("\n\n", 1)[1]
         assert body(resumed) == body(serial)
 
     def test_resume_runs_only_missing_tasks(self, tmp_path):
@@ -168,6 +185,14 @@ class TestAggregation:
         assert stats.min == 1.0 and stats.max == 3.0
         assert column_stats([None, "x", True]) is None
 
+    def test_column_stats_tolerates_non_finite_values(self):
+        # Some metrics are legitimately inf (diameter of a momentarily
+        # disconnected group); aggregation must not crash on them.
+        stats = column_stats([2.0, float("inf")])
+        assert stats.mean == float("inf") and stats.max == float("inf")
+        assert stats.std != stats.std  # NaN
+        assert stats.min == 2.0
+
     def test_aggregate_metrics_groups_and_drops(self):
         rows = [
             {"n": 5, "seed": 1, "latency": 2.0},
@@ -194,8 +219,9 @@ class TestCampaignCli:
         second = capsys.readouterr().out
         assert "executed 0, resumed 2" in second
         # Everything below the campaign header is reproducible across runs.
-        strip = lambda text: [line for line in text.splitlines()
-                              if not line.startswith(("campaign ", "note: wall time"))]
+        def strip(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith(("campaign ", "note: wall time"))]
         assert strip(first) == strip(second)
 
     def test_cli_campaign_unknown_experiment(self, capsys):
@@ -206,3 +232,159 @@ class TestCampaignCli:
         from repro.experiments.cli import build_parser
         args = build_parser().parse_args([])
         assert args.seeds == 1 and args.jobs == 1 and args.store is None
+
+
+class TestScenarioAxis:
+    def scenario_spec(self, **overrides):
+        from repro.scenarios import ScenarioSpec
+        params = dict(name="grid", experiments=("E6",), replicates=2, root_seed=7,
+                      scenarios=(ScenarioSpec.create("static_random", n=10),
+                                 ScenarioSpec.create("static_random", n=14)))
+        params.update(overrides)
+        return CampaignSpec(**params)
+
+    def test_expansion_covers_experiment_x_scenario_x_replicate(self):
+        spec = self.scenario_spec()
+        tasks = spec.expand()
+        assert [t.task_id for t in tasks] == [
+            "E6/static_random[n=10]/r0", "E6/static_random[n=10]/r1",
+            "E6/static_random[n=14]/r0", "E6/static_random[n=14]/r1"]
+        assert len({t.seed for t in tasks}) == len(tasks)
+        assert tasks == spec.expand()
+
+    def test_scenario_less_spec_dict_omits_axis(self):
+        # The hash input of a scenario-less campaign is identical to the
+        # pre-axis code, so existing stores keep resuming.
+        assert "scenarios" not in small_spec().as_dict()
+        assert "scenarios" in self.scenario_spec().as_dict()
+
+    def test_scenario_less_task_ids_and_seeds_unchanged(self):
+        # Adding the axis must not have re-seeded or re-keyed historical grids.
+        spec = small_spec()
+        tasks = spec.expand()
+        assert [t.task_id for t in tasks] == ["E6/r0", "E6/r1"]
+        from repro.sim.randomness import derive_seed
+        assert tasks[0].seed == derive_seed(7, "campaign/E6/rep0")
+
+    def test_scenario_cells_get_distinct_seed_streams(self):
+        spec = self.scenario_spec()
+        seeds_a = [t.seed for t in spec.expand() if "n=10" in t.task_id]
+        seeds_b = [t.seed for t in spec.expand() if "n=14" in t.task_id]
+        assert set(seeds_a).isdisjoint(seeds_b)
+
+    def test_spec_hash_sensitive_to_scenario_axis(self):
+        from repro.scenarios import ScenarioSpec
+        base = self.scenario_spec()
+        assert base.spec_hash() == self.scenario_spec().spec_hash()
+        variant = self.scenario_spec(
+            scenarios=(ScenarioSpec.create("static_random", n=10),))
+        assert variant.spec_hash() != base.spec_hash()
+        assert small_spec().spec_hash() != base.spec_hash()
+
+    def test_duplicate_scenario_cells_rejected(self):
+        from repro.scenarios import ScenarioSpec
+        with pytest.raises(ValueError, match="duplicate scenario"):
+            self.scenario_spec(scenarios=(ScenarioSpec.create("static_random", n=10),
+                                          ScenarioSpec.create("static_random", n=10)))
+
+    def test_equivalent_cells_normalize_and_duplicate(self):
+        # n=10 and n=10.0 build the identical workload; the campaign must not
+        # run it twice disguised as a sweep.
+        from repro.scenarios import ScenarioSpec
+        with pytest.raises(ValueError, match="duplicate scenario"):
+            self.scenario_spec(scenarios=(ScenarioSpec.create("static_random", n=10),
+                                          ScenarioSpec.create("static_random", n=10.0)))
+
+    def test_cells_validated_at_spec_creation(self):
+        from repro.scenarios import ScenarioSpec
+        with pytest.raises(KeyError, match="unknown scenario"):
+            self.scenario_spec(scenarios=(ScenarioSpec.create("no_such"),))
+        with pytest.raises(ValueError, match="unknown parameter"):
+            self.scenario_spec(scenarios=(ScenarioSpec.create("static_random", bogus=1),))
+
+    def test_scenarios_accept_dict_form(self):
+        from repro.scenarios import ScenarioSpec
+        spec_obj = ScenarioSpec.create("static_random", n=10)
+        by_dict = self.scenario_spec(scenarios=(spec_obj.as_dict(),))
+        by_spec = self.scenario_spec(scenarios=(spec_obj,))
+        assert by_dict.spec_hash() == by_spec.spec_hash()
+        assert by_dict.scenarios == (spec_obj,)
+
+    def test_serial_parallel_and_resume_with_scenario_axis(self, tmp_path):
+        spec = self.scenario_spec()
+        serial = run_campaign(spec, store=None, jobs=1)
+        parallel = run_campaign(spec, store=ResultStore(tmp_path / "s.jsonl"), jobs=2)
+        assert deterministic_report(serial) == deterministic_report(parallel)
+        resumed = run_campaign(spec, store=ResultStore(tmp_path / "s.jsonl"), jobs=1)
+        assert resumed.executed == 0 and resumed.skipped == 4
+        assert all(o.from_store for o in resumed.outcomes)
+        # The scenario survives the store roundtrip attached to each outcome.
+        assert {o.scenario_label for o in resumed.outcomes} == {
+            "static_random[n=10]", "static_random[n=14]"}
+
+    def test_report_renders_one_block_per_scenario_cell(self):
+        spec = self.scenario_spec(replicates=1)
+        result = run_campaign(spec, jobs=1)
+        report = deterministic_report(result)
+        assert "scenario axis (2 cells)" in report
+        assert "(scenario static_random[n=10], 1 seeds)" in report
+        assert "(scenario static_random[n=14], 1 seeds)" in report
+
+    def test_outcomes_for_filters_by_scenario_label(self):
+        spec = self.scenario_spec(replicates=1)
+        result = run_campaign(spec, jobs=1)
+        assert len(result.outcomes_for("E6", "static_random[n=10]")) == 1
+        assert result.outcomes_for("E6") == []  # no default cell in this campaign
+
+
+class TestScenarioCli:
+    def test_cli_sweep_expands_and_resumes(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        store_path = str(tmp_path / "sweep.jsonl")
+        argv = ["E6", "--scenario", "static_random", "--set", "area=200",
+                "--sweep", "n=8,10", "--seeds", "2", "--jobs", "1",
+                "--store", store_path]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "executed 4, resumed 0" in first
+        assert "scenario axis (2 cells)" in first
+        assert "static_random[area=200.0,n=8]" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "executed 0, resumed 4" in second
+        def strip(text):
+            return [line for line in text.splitlines()
+                    if not line.startswith(("campaign ", "note: wall time"))]
+        assert strip(first) == strip(second)
+
+    def test_cli_sweep_alone_enters_campaign_mode(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["E6", "--scenario", "static_random", "--sweep", "n=8,10"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario axis (2 cells)" in out
+
+    def test_cli_single_run_scenario_override(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["E6", "--scenario", "static_random", "--set", "n=8"]) == 0
+        out = capsys.readouterr().out
+        assert "== E6 —" in out and "campaign" not in out
+
+    def test_cli_rejects_bad_scenario_usage(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["E6", "--set", "n=8"]) == 2
+        assert "--set/--sweep require --scenario" in capsys.readouterr().err
+        assert main(["E6", "--scenario", "no_such_scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+        assert main(["E6", "--scenario", "static_random", "--set", "bogus=1"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+        assert main(["E6", "--scenario", "static_random", "--set", "n=many"]) == 2
+        assert "expects kind" in capsys.readouterr().err
+        assert main(["E6", "--scenario", "static_random", "--sweep", "n"]) == 2
+        assert "PARAM=VALUE" in capsys.readouterr().err
+
+    def test_cli_list_scenarios(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "manhattan_grid" in out and "flash_crowd" in out
+        assert "static_random" in out

@@ -1,6 +1,5 @@
 """Unit tests for goodList and compatibleList."""
 
-import pytest
 
 from repro.core.ancestor_list import AncestorList
 from repro.core.checks import compatible_list, good_list, group_span, merged_pair_bound

@@ -4,11 +4,9 @@ These are the executable counterparts of the paper's propositions on small
 (hence fast) topologies; the full-scale versions live in the benchmark harness.
 """
 
-import networkx as nx
-import pytest
 
 from repro.core.node import GRPConfig
-from repro.core.predicates import agreement, legitimate, maximality, omega, safety
+from repro.core.predicates import agreement, legitimate, safety
 from repro.core.protocol import build_grp_network
 from repro.experiments.runner import run_with_sampler
 from repro.experiments.scenarios import line_topology, static_random, two_cluster_topology

@@ -229,3 +229,12 @@ class TestAggregateRows:
         rows = aggregate_rows([{"n": 5, "t": 1.0}, {"n": 5, "t": 3.0}], group_by=("n",))
         text = format_table(rows)
         assert "2 ± 1" in text
+
+
+class TestAggregateRowsNonFinite:
+    def test_aggregate_rows_tolerates_inf_metrics(self):
+        from repro.metrics.report import aggregate_rows
+        rows = [{"dmax": 2, "max_group_diameter": 2.0},
+                {"dmax": 2, "max_group_diameter": float("inf")}]
+        table = aggregate_rows(rows, group_by=("dmax",))
+        assert table[0]["max_group_diameter"] == "inf ± nan"

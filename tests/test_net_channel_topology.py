@@ -103,7 +103,8 @@ class TestTopologyUtilities:
         g = chain_graph(6)
         assert merged_diameter_ok(g, {0, 1}, {2, 3}, dmax=3)
         assert not merged_diameter_ok(g, {0, 1}, {2, 3, 4}, dmax=3)
-        assert not merged_diameter_ok(g, {0, 1}, {4, 5}, dmax=10)  # disconnected union? no, chain connects them
+        # Not disconnected: the chain connects the union, but too long.
+        assert not merged_diameter_ok(g, {0, 1}, {4, 5}, dmax=10)
         # the union {0,1,4,5} misses nodes 2,3 so its subgraph is disconnected
         assert subgraph_diameter(g, {0, 1, 4, 5}) == float("inf")
 

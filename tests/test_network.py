@@ -150,3 +150,61 @@ class TestNodeManagement:
         network.stop_mobility()
         sim.run(until=10.0)
         assert len(seen) == 3
+
+
+class TestGenerationBumping:
+    def test_set_positions_bumps_generation_once(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0), "c": (8, 0)})
+        before = network.topology_generation
+        network.set_positions({"a": (1, 0), "b": (6, 0), "c": (9, 0)})
+        assert network.topology_generation == before + 1
+
+    def test_set_positions_rejects_unknown_node_without_side_effects(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        before = network.topology_generation
+        with pytest.raises(KeyError):
+            network.set_positions({"a": (1, 0), "zzz": (2, 0)})
+        # Nothing moved and no snapshot was invalidated.
+        assert network.position_of("a") == (0.0, 0.0)
+        assert network.topology_generation == before
+
+    def test_set_positions_empty_is_a_no_op(self):
+        sim, network = build_network({"a": (0, 0)})
+        before = network.topology_generation
+        network.set_positions({})
+        assert network.topology_generation == before
+
+    def test_set_positions_updates_topology(self):
+        sim, network = build_network({"a": (0, 0), "b": (50, 0)})
+        assert not network.topology().has_edge("a", "b")
+        network.set_positions({"b": (5, 0)})
+        assert network.topology().has_edge("a", "b")
+
+    def test_mobility_step_shares_one_snapshot_across_listeners(self):
+        from repro.mobility.static import StaticMobility
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=UnitDiskRadio(10.0), mobility=StaticMobility())
+        network.add_node(Echo("a"), (0, 0))
+        snapshots = []
+        network.add_position_listener(lambda t, positions: snapshots.append(positions))
+        network.add_position_listener(lambda t, positions: snapshots.append(positions))
+        network.start()
+        sim.run(until=1.5)
+        assert len(snapshots) == 2
+        # Both listeners of one step saw the very same dict (built once)...
+        assert snapshots[0] is snapshots[1]
+        # ...which is a snapshot, not the live position map.
+        assert snapshots[0] == {"a": (0.0, 0.0)}
+        snapshots[0]["a"] = (99.0, 99.0)
+        assert network.position_of("a") == (0.0, 0.0)
+
+    def test_mobility_step_bumps_generation_once_per_step(self):
+        from repro.mobility.static import StaticMobility
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=UnitDiskRadio(10.0), mobility=StaticMobility())
+        network.add_node(Echo("a"), (0, 0))
+        network.add_node(Echo("b"), (5, 0))
+        network.start()
+        before = network.topology_generation
+        sim.run(until=1.5)  # exactly one mobility step
+        assert network.topology_generation == before + 1

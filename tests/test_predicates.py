@@ -1,7 +1,6 @@
 """Unit tests for the Dynamic Group Service predicates (ΠA, ΠS, ΠM, ΠT, ΠC, Ω)."""
 
 import networkx as nx
-import pytest
 
 from repro.core.predicates import (agreement, agreement_violations, continuity,
                                    continuity_violations, evaluate_configuration,

@@ -123,6 +123,65 @@ class TestPeriodicScheduling:
         with pytest.raises(SimulationError):
             simulator.call_every(0.0, lambda: None)
 
+    def test_periodic_handle_pending_counter_on_cancel(self, simulator):
+        # Exactly one occurrence is scheduled at a time; cancelling the handle
+        # removes it from the pending count exactly once.
+        handle = simulator.call_every(1.0, lambda: None)
+        assert simulator.pending_events == 1
+        simulator.run(until=3.5)
+        assert simulator.pending_events == 1  # the next occurrence
+        handle.cancel()
+        assert handle.cancelled
+        assert simulator.pending_events == 0
+        # Cancelling again must not underflow the live counter.
+        handle.cancel()
+        assert simulator.pending_events == 0
+        simulator.run(until=10.0)
+        assert simulator.pending_events == 0
+
+    def test_periodic_handle_cancel_before_first_fire(self, simulator):
+        ticks = []
+        handle = simulator.call_every(2.0, lambda: ticks.append(simulator.now))
+        handle.cancel()
+        assert simulator.pending_events == 0
+        simulator.run(until=10.0)
+        assert ticks == []
+        assert simulator.processed_events == 0
+
+    def test_periodic_handle_exposes_next_occurrence_time(self, simulator):
+        handle = simulator.call_every(1.0, lambda: None)
+        assert handle.time == 1.0
+        assert not handle.cancelled
+        simulator.run(until=2.5)
+        assert handle.time == 3.0
+
+    def test_periodic_handle_counter_across_drain(self, simulator):
+        handle = simulator.call_every(1.0, lambda: None)
+        simulator.run(until=1.5)
+        drained = list(simulator.drain())
+        assert len(drained) == 1  # the pending next occurrence
+        assert simulator.pending_events == 0
+        # A late cancel of the drained occurrence must not underflow.
+        handle.cancel()
+        assert simulator.pending_events == 0
+        # The stopped flag keeps a stray drained callback from rescheduling.
+        drained[0].callback(*drained[0].args, **drained[0].kwargs)
+        assert simulator.pending_events == 0
+
+    def test_periodic_callback_exception_does_not_corrupt_counter(self, simulator):
+        calls = []
+
+        def boom():
+            calls.append(simulator.now)
+            raise RuntimeError("callback failure")
+
+        simulator.call_every(1.0, boom)
+        with pytest.raises(RuntimeError):
+            simulator.run(until=3.0)
+        # The failed occurrence was consumed; nothing rescheduled itself.
+        assert calls == [1.0]
+        assert simulator.pending_events == 0
+
 
 class TestReproducibility:
     def test_same_seed_same_rng_stream(self):

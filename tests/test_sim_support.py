@@ -121,7 +121,8 @@ class TestRandomStreams:
         factory = SeedSequenceFactory(9)
         assert factory.master_seed == 9
         assert factory.seed_for("a") == SeedSequenceFactory(9).seed_for("a")
-        assert factory.stream("a").integers(0, 100) == SeedSequenceFactory(9).stream("a").integers(0, 100)
+        expected = SeedSequenceFactory(9).stream("a").integers(0, 100)
+        assert factory.stream("a").integers(0, 100) == expected
 
 
 class _Recorder(Process):
