@@ -1,0 +1,241 @@
+"""Delivery-pipeline benchmark: vectorized vs per-receiver broadcast path.
+
+Two measurements over the raw network substrate (no protocol on top):
+
+* **Broadcast-step throughput** — every node broadcasts into no-op receivers
+  over a churning 1000-node dense field (mobility steps interleaved with
+  hello-beacon rounds, the regime that dominates the paper's experiments).
+  The vectorized pipeline serves receiver lists from the incremental
+  link-state cache, decides whole batches through ``decide_batch`` and
+  bulk-schedules delayed deliveries; the baseline is the per-receiver scan
+  (``vectorized_delivery=False``).  Both paths replay seeded runs
+  bit-identically — the benchmark asserts identical delivery counters.
+* **Topology refresh under mobility** — per mobility step, move a mobile
+  subset of the field and re-read the neighbourhoods of the movers (what a
+  protocol reacting to mobility inspects).  Incremental link-state patches
+  only the movers' links; the baseline recomputes the snapshot from the grid.
+  A full-sweep row (query *every* node) and an all-mobile row are included
+  for transparency — when every node moves every step, patching every link
+  from both endpoints approaches the cost of one rebuild and the incremental
+  advantage fades; the win lives exactly where the ISSUE/ROADMAP motivate it
+  (most links stable between steps).
+
+Run with ``PYTHONPATH=src python benchmarks/bench_delivery.py``; ``--quick``
+shrinks the scenarios for CI smoke runs and ``--json PATH`` writes the rows
+(plus the headline ratios) as JSON for artifact tracking.  Full-mode targets:
+>= 3x broadcast-step throughput on the lossy dense mobile field and >= 5x
+topology refresh with the 10% mobile subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Tuple
+
+from repro.metrics.report import print_table
+from repro.mobility.random_waypoint import RandomWaypointMobility
+from repro.net.channel import LossyChannel, PerfectChannel
+from repro.net.geometry import random_positions
+from repro.net.network import Network
+from repro.net.radio import UnitDiskRadio
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.sim.randomness import SeedSequenceFactory
+
+
+class NullProcess(Process):
+    """Receiver that does nothing (keeps protocol cost out of the timing)."""
+
+    def on_message(self, sender, payload):
+        pass
+
+
+def build_network(n: int, area: float, radio_range: float, seed: int,
+                  vectorized: bool, channel_kind: str) -> Tuple[Simulator, Network,
+                                                                RandomWaypointMobility]:
+    seeds = SeedSequenceFactory(seed)
+    positions = random_positions(range(n), area=(area, area), rng=seeds.stream("placement"))
+    sim = Simulator(seed=seed)
+    if channel_kind == "lossy":
+        channel = LossyChannel(loss_probability=0.05, rng=seeds.stream("channel"))
+    elif channel_kind == "delayed":
+        channel = LossyChannel(min_delay=0.01, max_delay=0.05,
+                               rng=seeds.stream("channel"))
+    else:
+        channel = PerfectChannel()
+    network = Network(sim, radio=UnitDiskRadio(radio_range), channel=channel,
+                      vectorized_delivery=vectorized)
+    for node, pos in positions.items():
+        network.add_node(NullProcess(node), pos)
+    mobility = RandomWaypointMobility((area, area), min_speed=5.0, max_speed=15.0,
+                                      rng=seeds.stream("mobility"))
+    return sim, network, mobility
+
+
+# ------------------------------------------------------------------ broadcast
+
+def time_broadcast_steps(vectorized: bool, channel_kind: str, n: int, area: float,
+                         steps: int, rounds_per_step: int,
+                         seed: int = 7) -> Tuple[float, int]:
+    """(broadcasts/second, messages_delivered) over a churning field.
+
+    One "step" = one mobility step followed by ``rounds_per_step`` hello
+    rounds (every node broadcasts once per round); delayed deliveries are
+    drained through the simulator after each step.
+    """
+    sim, network, mobility = build_network(n, area, 100.0, seed, vectorized,
+                                           channel_kind)
+    nodes = network.node_ids
+    count = 0
+    start = time.perf_counter()
+    for _ in range(steps):
+        network.set_positions(mobility.step(network.positions, 1.0))
+        for _ in range(rounds_per_step):
+            for sender in nodes:
+                network.broadcast(sender, "x")
+                count += 1
+        sim.run()
+    elapsed = time.perf_counter() - start
+    return count / elapsed if elapsed > 0 else float("inf"), network.messages_delivered
+
+
+def broadcast_rows(n: int, area: float, steps: int, rounds_per_step: int,
+                   repeats: int) -> List[Dict[str, object]]:
+    rows = []
+    for kind in ("lossy", "perfect", "delayed"):
+        best = {"vectorized": 0.0, "scan": 0.0}
+        delivered: Dict[str, int] = {}
+        # Interleave the two pipelines within each repeat so transient
+        # machine load penalizes both sides equally.
+        for _ in range(repeats):
+            for label, vectorized in (("vectorized", True), ("scan", False)):
+                rate, count = time_broadcast_steps(vectorized, kind, n, area,
+                                                   steps, rounds_per_step)
+                best[label] = max(best[label], rate)
+                delivered[label] = count
+        # The two paths must be *the same simulation*, not merely similar.
+        assert delivered["vectorized"] == delivered["scan"], (
+            f"{kind}: delivery diverged between pipelines "
+            f"({delivered['vectorized']} != {delivered['scan']})")
+        rows.append({
+            "scenario": f"dense mobile field / {kind}",
+            "nodes": n,
+            "vectorized bcast/s": round(best["vectorized"]),
+            "scan bcast/s": round(best["scan"]),
+            "speedup": round(best["vectorized"] / best["scan"], 2),
+        })
+    return rows
+
+
+# -------------------------------------------------------------------- refresh
+
+def time_refresh_steps(vectorized: bool, n: int, area: float, movers: int,
+                       steps: int, query: str, seed: int = 11) -> Tuple[float, int]:
+    """(mobility steps/second, total neighbour count) for one refresh regime.
+
+    ``query`` selects the per-step read load: ``"movers"`` re-reads the
+    neighbourhoods of the nodes that moved, ``"all"`` sweeps every node.
+    """
+    sim, network, mobility = build_network(n, area, 100.0, seed, vectorized,
+                                           "perfect")
+    mobile = list(range(movers))
+    network.topology()
+    network.neighbors_of(0)  # warm both pipelines
+    queried = mobile if query == "movers" else network.node_ids
+    total = 0
+    start = time.perf_counter()
+    for _ in range(steps):
+        subset = {m: network.position_of(m) for m in mobile}
+        network.set_positions(mobility.step(subset, 1.0))
+        for node in queried:
+            total += len(network.neighbors_of(node))
+    elapsed = time.perf_counter() - start
+    return steps / elapsed if elapsed > 0 else float("inf"), total
+
+
+def refresh_rows(n: int, area: float, steps: int,
+                 repeats: int) -> List[Dict[str, object]]:
+    regimes = [
+        ("10% mobile, read movers", max(1, n // 10), "movers"),
+        ("10% mobile, read all", max(1, n // 10), "all"),
+        ("all mobile, read all", n, "all"),
+    ]
+    rows = []
+    for name, movers, query in regimes:
+        best = {"incremental": 0.0, "rebuild": 0.0}
+        totals: Dict[str, int] = {}
+        for _ in range(repeats):
+            for label, vectorized in (("incremental", True), ("rebuild", False)):
+                rate, total = time_refresh_steps(vectorized, n, area, movers,
+                                                 steps, query)
+                best[label] = max(best[label], rate)
+                totals[label] = total
+        assert totals["incremental"] == totals["rebuild"], (
+            f"{name}: neighbour sets diverged between pipelines")
+        rows.append({
+            "scenario": name,
+            "nodes": n,
+            "incremental steps/s": round(best["incremental"], 1),
+            "rebuild steps/s": round(best["rebuild"], 1),
+            "speedup": round(best["incremental"] / best["rebuild"], 2),
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------- main
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small scenarios for CI smoke runs")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="also write the result rows as JSON")
+    args = parser.parse_args()
+
+    if args.quick:
+        n, area, steps, rounds, refresh_steps, repeats = 250, 500.0, 2, 2, 4, 1
+        bcast_target, refresh_target = 1.5, 2.0
+    else:
+        n, area, steps, rounds, refresh_steps, repeats = 1000, 1000.0, 3, 3, 10, 3
+        bcast_target, refresh_target = 3.0, 5.0
+
+    bcast = broadcast_rows(n, area, steps, rounds, repeats)
+    print_table(bcast, title="broadcast-step throughput: vectorized pipeline vs "
+                             "per-receiver scan")
+    refresh = refresh_rows(n, area, refresh_steps, repeats)
+    print_table(refresh, title="topology refresh under mobility: incremental "
+                               "link-state vs full recompute")
+
+    bcast_headline = bcast[0]["speedup"]       # lossy dense mobile field
+    refresh_headline = refresh[0]["speedup"]   # 10% mobile, read movers
+    print(f"\nheadline broadcast speedup: {bcast_headline}x "
+          f"(target >= {bcast_target}x)")
+    print(f"headline refresh speedup: {refresh_headline}x "
+          f"(target >= {refresh_target}x)")
+
+    if args.json:
+        payload = {
+            "quick": args.quick,
+            "broadcast": bcast,
+            "refresh": refresh,
+            "headline_broadcast_speedup": bcast_headline,
+            "headline_refresh_speedup": refresh_headline,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+
+    status = 0
+    if bcast_headline < bcast_target:
+        print("WARNING: vectorized broadcast pipeline below target speedup")
+        status = 1
+    if refresh_headline < refresh_target:
+        print("WARNING: incremental link-state refresh below target speedup")
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,7 +109,13 @@ def campaign_report(result: CampaignResult) -> str:
             outcomes = result.outcomes_for(experiment, label)
             if not outcomes:
                 continue
-            description = outcomes[0].description
+            # Prefer a successful replicate's description: a failed first
+            # replicate carries the "<EXP> (failed)" placeholder and must not
+            # mislabel a block whose other seeds succeeded.
+            description = next(
+                (o.description for o in outcomes
+                 if not any(row.get("status") == "failed" for row in o.rows)),
+                outcomes[0].description)
             rows = [row for outcome in outcomes for row in outcome.rows]
             table = aggregate_rows(rows, group_by=AGGREGATE_KEYS.get(experiment, ()),
                                    drop=DROP_COLUMNS)

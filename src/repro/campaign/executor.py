@@ -11,12 +11,27 @@ Workers cap their trace memory through
 ``CampaignSpec.max_trace_records`` around each task), so long campaigns cannot
 grow worker memory without bound; per-category trace *counters* stay exact, so
 overhead metrics are unaffected.
+
+Failure policy
+--------------
+``CampaignSpec.task_timeout`` bounds the wall clock of each task *attempt*
+(enforced with a per-attempt ``SIGALRM`` interval timer inside the executing
+process — the worker's main thread on the pool backend, the caller's on the
+serial one; on platforms without ``SIGALRM`` the timeout is ignored) and
+``task_retries`` grants extra attempts after a crash or timeout.  A task that
+exhausts its attempts does not kill the campaign: it completes with a
+*structured failure row* (``status="failed"``, the error text and the attempt
+count) that flows through the store, resume and the report like any metric
+row.  Every attempt re-runs from the task's derived seed, so a retry that
+succeeds is bit-identical to a first attempt that succeeded.
 """
 
 from __future__ import annotations
 
 import functools
 import multiprocessing
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -26,7 +41,12 @@ from repro.scenarios import ScenarioSpec
 from .spec import CampaignSpec, CampaignTask
 from .store import ResultStore, TaskRecord
 
-__all__ = ["TaskOutcome", "CampaignResult", "execute_task", "run_campaign"]
+__all__ = ["TaskTimeoutError", "TaskOutcome", "CampaignResult", "execute_task",
+           "run_campaign"]
+
+
+class TaskTimeoutError(RuntimeError):
+    """An attempt exceeded ``CampaignSpec.task_timeout`` seconds."""
 
 
 @dataclass(frozen=True)
@@ -74,31 +94,117 @@ def _outcome_from_record(record: TaskRecord) -> TaskOutcome:
         scenario=record.scenario)
 
 
+class _attempt_deadline:
+    """Context manager aborting the block after ``seconds`` of wall clock.
+
+    Implemented with ``signal.setitimer(ITIMER_REAL)`` in the current
+    process, so it works unchanged in the serial backend and inside pool
+    workers (task code runs in each process's main thread).  The deadline is
+    silently disabled where signals cannot work — ``None``, platforms
+    without ``SIGALRM``, or a caller off the main thread (where
+    ``signal.signal`` would raise and the retry loop would misread it as a
+    task failure).
+    """
+
+    def __init__(self, seconds: Optional[float]):
+        usable = (hasattr(signal, "SIGALRM")
+                  and threading.current_thread() is threading.main_thread())
+        self.seconds = seconds if usable else None
+        self._previous = None
+
+    def __enter__(self) -> "_attempt_deadline":
+        if self.seconds is not None:
+            def _expired(signum, frame):
+                raise TaskTimeoutError(
+                    f"task attempt exceeded {self.seconds}s wall-clock budget")
+            self._previous = signal.signal(signal.SIGALRM, _expired)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.seconds is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self._previous)
+
+
+def _failure_outcome(task: CampaignTask, error: BaseException,
+                     attempts: int, wall_time: float) -> TaskOutcome:
+    """The structured failure recorded when a task exhausts its attempts.
+
+    The single row carries machine-readable failure columns; ``status`` is a
+    string (never aggregated as a metric) and ``attempts`` is numeric, so
+    cross-seed aggregation and report rendering handle mixed
+    success/failure replicate sets without special cases.
+    """
+    kind = "timeout" if isinstance(error, TaskTimeoutError) else type(error).__name__
+    row = {
+        "task": task.task_id,
+        "status": "failed",
+        "failure": kind,
+        "attempts": attempts,
+        "error": str(error),
+    }
+    return TaskOutcome(
+        task_id=task.task_id, experiment=task.experiment, replicate=task.replicate,
+        seed=task.seed, quick=task.quick,
+        description=f"{task.experiment} (failed)",
+        wall_time=wall_time, rows=[row],
+        notes=[f"FAILED after {attempts} attempt(s): {kind}: {error}"],
+        scenario=None if task.scenario is None else task.scenario.as_dict())
+
+
 def execute_task(task: CampaignTask,
-                 max_trace_records: Optional[int] = None) -> TaskOutcome:
+                 max_trace_records: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 retries: int = 0) -> TaskOutcome:
     """Run one task in the current process and return its outcome.
 
     This is the unit of work both backends share; it is a module-level
-    function so the multiprocessing pool can pickle it.
+    function so the multiprocessing pool can pickle it.  Each of the
+    ``1 + retries`` attempts is bounded by ``timeout`` seconds; a task whose
+    attempts are all lost to crashes or timeouts resolves to a structured
+    failure outcome instead of propagating (``KeyboardInterrupt`` and friends
+    still propagate).
     """
     # Imported lazily: the experiment suite sits above the campaign layer.
-    from repro.experiments.suite import run_experiment
+    from repro.experiments.suite import ALL_EXPERIMENTS, run_experiment
     from repro.sim.trace import TraceRecorder
 
-    previous_cap = TraceRecorder.default_max_records
-    TraceRecorder.default_max_records = max_trace_records
-    try:
-        start = time.perf_counter()
-        result = run_experiment(task.experiment, quick=task.quick, seed=task.seed,
-                                scenario=task.scenario)
-        wall_time = time.perf_counter() - start
-    finally:
-        TraceRecorder.default_max_records = previous_cap
-    return TaskOutcome(
-        task_id=task.task_id, experiment=task.experiment, replicate=task.replicate,
-        seed=task.seed, quick=task.quick, description=result.description,
-        wall_time=wall_time, rows=result.rows, notes=result.notes,
-        scenario=None if task.scenario is None else task.scenario.as_dict())
+    if task.experiment.upper() not in ALL_EXPERIMENTS:
+        # A malformed spec is a configuration error, not a task failure:
+        # propagate instead of burning retries on every replicate.
+        raise KeyError(f"unknown experiment {task.experiment!r}; "
+                       f"valid: {sorted(ALL_EXPERIMENTS)}")
+    start = time.perf_counter()
+    attempts = 1 + max(0, retries)
+    last_error: Optional[Exception] = None
+    for _ in range(attempts):
+        previous_cap = TraceRecorder.default_max_records
+        TraceRecorder.default_max_records = max_trace_records
+        result = None
+        try:
+            attempt_start = time.perf_counter()
+            with _attempt_deadline(timeout):
+                result = run_experiment(task.experiment, quick=task.quick,
+                                        seed=task.seed, scenario=task.scenario)
+            wall_time = time.perf_counter() - attempt_start
+        except Exception as exc:  # noqa: BLE001 - the retry/failure boundary
+            # Disarm race: the interval timer can fire in the sliver between
+            # the experiment returning and the deadline's __exit__ disarming
+            # it.  A TaskTimeoutError with the result already bound means the
+            # attempt finished inside its budget — keep it.
+            if result is None or not isinstance(exc, TaskTimeoutError):
+                last_error = exc
+                continue
+            wall_time = time.perf_counter() - attempt_start
+        finally:
+            TraceRecorder.default_max_records = previous_cap
+        return TaskOutcome(
+            task_id=task.task_id, experiment=task.experiment, replicate=task.replicate,
+            seed=task.seed, quick=task.quick, description=result.description,
+            wall_time=wall_time, rows=result.rows, notes=result.notes,
+            scenario=None if task.scenario is None else task.scenario.as_dict())
+    return _failure_outcome(task, last_error, attempts, time.perf_counter() - start)
 
 
 @dataclass
@@ -134,6 +240,10 @@ def run_campaign(spec: CampaignSpec,
     uses the in-process serial reference backend; ``jobs > 1`` shards the
     pending tasks over a process pool.  Outcomes are always returned in the
     canonical expansion order, whatever order workers finish in.
+
+    ``progress`` is invoked once per completed task on both backends — first
+    for every store-replayed outcome (``from_store=True``), then for each
+    fresh outcome as its worker finishes.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -144,6 +254,10 @@ def run_campaign(spec: CampaignSpec,
         task.task_id: _outcome_from_record(done[task.task_id])
         for task in tasks if task.task_id in done}
     pending = [task for task in tasks if task.task_id not in outcomes_by_id]
+    if progress is not None:
+        for task in tasks:
+            if task.task_id in outcomes_by_id:
+                progress(outcomes_by_id[task.task_id])
 
     def _finish(outcome: TaskOutcome) -> None:
         outcomes_by_id[outcome.task_id] = outcome
@@ -152,7 +266,8 @@ def run_campaign(spec: CampaignSpec,
         if progress is not None:
             progress(outcome)
 
-    worker = functools.partial(execute_task, max_trace_records=spec.max_trace_records)
+    worker = functools.partial(execute_task, max_trace_records=spec.max_trace_records,
+                               timeout=spec.task_timeout, retries=spec.task_retries)
     if jobs > 1 and len(pending) > 1:
         with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
             for outcome in pool.imap_unordered(worker, pending):

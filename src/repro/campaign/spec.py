@@ -82,6 +82,14 @@ class CampaignSpec:
         their ``as_dict`` forms).  Empty means "no scenario axis": each
         experiment builds its own default workload, task ids and seeds stay
         exactly as in scenario-less campaigns.
+    task_timeout:
+        Wall-clock budget (seconds) per task *attempt*; an attempt past the
+        budget is aborted and counts as a failure.  ``None`` (default) never
+        times out.
+    task_retries:
+        Extra attempts after a failed (crashed or timed-out) first attempt.
+        A task that exhausts ``1 + task_retries`` attempts records a
+        structured failure row instead of killing the campaign.
     """
 
     name: str
@@ -91,6 +99,8 @@ class CampaignSpec:
     quick: bool = True
     max_trace_records: Optional[int] = 100_000
     scenarios: Tuple[ScenarioSpec, ...] = field(default=())
+    task_timeout: Optional[float] = None
+    task_retries: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "experiments",
@@ -101,6 +111,10 @@ class CampaignSpec:
             raise ValueError("replicates must be >= 1")
         if self.max_trace_records is not None and self.max_trace_records < 0:
             raise ValueError("max_trace_records must be >= 0 or None")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive or None")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
         # Normalizing against the registry schema makes labels, seeds and the
         # spec hash describe the workload that actually builds: n=8, n=8.0
         # and n="8" are the same cell (and duplicate as such), and unknown
@@ -120,9 +134,13 @@ class CampaignSpec:
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form (JSON-serializable).
 
-        The ``scenarios`` key is omitted when the axis is empty, so the spec
-        hash of a scenario-less campaign is identical to what the pre-axis
-        code produced — existing result stores keep resuming.
+        The ``scenarios`` key is omitted when the axis is empty, and the
+        execution-policy keys (``task_timeout`` / ``task_retries``) are
+        omitted at their defaults, so the spec hash of a campaign that does
+        not use these features is identical to what the earlier code produced
+        — existing result stores keep resuming.  The policy keys *do*
+        participate when set: a timeout can turn a slow task into a failure
+        row, so records produced under different policies must not mix.
         """
         data: Dict[str, object] = {
             "name": self.name,
@@ -134,6 +152,10 @@ class CampaignSpec:
         }
         if self.scenarios:
             data["scenarios"] = [spec.as_dict() for spec in self.scenarios]
+        if self.task_timeout is not None:
+            data["task_timeout"] = self.task_timeout
+        if self.task_retries:
+            data["task_retries"] = self.task_retries
         return data
 
     def spec_hash(self) -> str:
@@ -146,6 +168,14 @@ class CampaignSpec:
     def scenario_cells(self) -> Tuple[Optional[ScenarioSpec], ...]:
         """The scenario axis: the declared cells, or a single default cell."""
         return self.scenarios if self.scenarios else (None,)
+
+    def task_count(self) -> int:
+        """Number of tasks :meth:`expand` yields, without deriving any seeds.
+
+        Cheap arithmetic (progress denominators and the like should not pay
+        one SHA-256 per task just to learn the grid size).
+        """
+        return len(self.experiments) * len(self.scenario_cells()) * self.replicates
 
     def task_seed(self, experiment: str, replicate: int,
                   scenario: Optional[ScenarioSpec] = None) -> int:

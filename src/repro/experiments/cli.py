@@ -23,10 +23,18 @@ List the registered scenarios, then sweep one of them as a workload grid::
 
 Campaign mode
 -------------
-``--seeds N`` (N > 1), ``--jobs K`` (K > 1), ``--store PATH`` or ``--sweep``
-switch the CLI from the single-run path to the campaign orchestrator
-(:mod:`repro.campaign`).  Without any of them the CLI behaves exactly as
-before — one process, one seed per experiment, byte-identical report output.
+``--seeds N`` (N > 1), ``--jobs K`` (K > 1), ``--store PATH``, ``--sweep``,
+``--progress``, ``--task-timeout`` or ``--task-retries`` switch the CLI from
+the single-run path to the campaign orchestrator (:mod:`repro.campaign`).
+Without any of them the CLI behaves exactly as before — one process, one seed
+per experiment, byte-identical report output.
+
+*Execution policy.*  ``--task-timeout SECONDS`` bounds each task attempt's
+wall clock and ``--task-retries N`` grants extra attempts after a crash or
+timeout; a task that exhausts its attempts records a structured failure row
+(``status="failed"``) instead of killing the campaign.  ``--progress``
+streams one ``[done/total] task`` line to *stderr* per completed task (store
+replays included), on both backends; the stdout report is unchanged.
 
 *Scenario axis.*  ``--scenario NAME`` selects a registered scenario
 (:mod:`repro.scenarios`) as the workload of the selected experiments in place
@@ -102,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Worker processes for campaign execution (1 = serial reference).")
     parser.add_argument("--store", type=str, default=None,
                         help="JSONL result store; reruns resume by skipping recorded tasks.")
+    parser.add_argument("--progress", action="store_true",
+                        help="Stream one '[done/total] task' line to stderr per completed "
+                             "campaign task (serial and pool backends).")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                        help="Wall-clock budget per campaign task attempt; a task whose "
+                             "attempts all time out records a failure row.")
+    parser.add_argument("--task-retries", type=int, default=0, metavar="N",
+                        help="Extra attempts after a crashed or timed-out task attempt "
+                             "(default 0).")
     parser.add_argument("--scenario", type=str, default=None,
                         help="Registered scenario overriding the experiments' default "
                              "workload (see --list-scenarios).")
@@ -173,22 +190,42 @@ def _run(experiment_ids: List[str], quick: bool, seed: Optional[int],
     return results
 
 
-def _run_campaign(experiment_ids: List[str], args: argparse.Namespace,
-                  scenarios) -> str:
-    """Execute the selected experiments as a multi-seed campaign."""
-    from repro.campaign import CampaignSpec, ResultStore, campaign_report, run_campaign
+def _campaign_spec(experiment_ids: List[str], args: argparse.Namespace, scenarios):
+    """Build the campaign spec (raises ValueError on invalid policy flags)."""
+    from repro.campaign import CampaignSpec
 
-    spec = CampaignSpec(
+    return CampaignSpec(
         name=args.experiment.lower(),
         experiments=tuple(experiment_ids),
         replicates=max(1, args.seeds),
         root_seed=args.seed if args.seed is not None else 0,
         quick=not args.full,
         scenarios=tuple(scenarios) if scenarios else (),
+        task_timeout=args.task_timeout,
+        task_retries=args.task_retries,
     )
+
+
+def _run_campaign(spec, args: argparse.Namespace) -> Tuple[str, int]:
+    """Execute the campaign; returns (report, permanently-failed task count)."""
+    from repro.campaign import ResultStore, campaign_report, run_campaign
+
     store = ResultStore(args.store) if args.store else None
-    result = run_campaign(spec, store=store, jobs=max(1, args.jobs))
-    return campaign_report(result)
+    progress = None
+    if args.progress:
+        total = spec.task_count()
+        done = [0]
+
+        def progress(outcome) -> None:
+            done[0] += 1
+            suffix = "resumed" if outcome.from_store else f"{outcome.wall_time:.1f}s"
+            print(f"[{done[0]}/{total}] {outcome.task_id} ({suffix})",
+                  file=sys.stderr, flush=True)
+
+    result = run_campaign(spec, store=store, jobs=max(1, args.jobs), progress=progress)
+    failed = sum(1 for outcome in result.outcomes
+                 if any(row.get("status") == "failed" for row in outcome.rows))
+    return campaign_report(result), failed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -213,10 +250,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     campaign_mode = (args.seeds > 1 or args.jobs > 1 or args.store is not None
-                     or bool(args.sweep_params))
+                     or bool(args.sweep_params) or args.progress
+                     or args.task_timeout is not None or args.task_retries != 0)
+    failed_tasks = 0
     try:
         if campaign_mode:
-            report = _run_campaign(experiment_ids, args, scenarios)
+            try:
+                # Spec construction validates the policy flags; only *its*
+                # ValueError is a bad-input exit — errors raised later, deep
+                # inside experiments, must keep their tracebacks.
+                spec = _campaign_spec(experiment_ids, args, scenarios)
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            report, failed_tasks = _run_campaign(spec, args)
         else:
             scenario = scenarios[0] if scenarios else None
             results = _run(experiment_ids, quick=not args.full, seed=args.seed,
@@ -229,6 +276,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
+    if failed_tasks:
+        # The failure-row policy keeps the campaign (and its report) alive,
+        # but scripts and CI must still see a nonzero exit.
+        print(f"{failed_tasks} task(s) failed permanently (see report)",
+              file=sys.stderr)
+        return 1
     return 0
 
 

@@ -7,6 +7,18 @@ Models are deliberately stateless with respect to the network: the
 seconds).  Models keep per-node kinematic state (destination, speed, lane…)
 internally, keyed by node id, and create it lazily the first time they see a
 node — so nodes may join or leave at any time.
+
+Delta notification contract
+---------------------------
+The network maintains its spatial index and incremental link-state cache by
+*diffing* each step's result against the current positions: a node whose
+returned position equals its current one costs nothing downstream.  Models
+therefore signal "this node did not move" simply by echoing the input
+position unchanged (pass the same tuple through, as the stock models do for
+paused waypoint nodes and for :class:`~repro.mobility.static.StaticMobility`)
+rather than recomputing a float that might differ in the last ulp — the
+cheapest possible delta notification, and one that cannot desynchronize.
+:func:`moved_nodes` implements the same comparison for tests and tooling.
 """
 
 from __future__ import annotations
@@ -15,9 +27,29 @@ from typing import Dict, Hashable, Mapping, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["MobilityModel"]
+__all__ = ["MobilityModel", "moved_nodes"]
 
 Point = Tuple[float, float]
+
+
+def moved_nodes(before: Mapping[Hashable, Point],
+                after: Mapping[Hashable, Point]) -> Dict[Hashable, Point]:
+    """The subset of ``after`` whose position differs from ``before``.
+
+    Values are normalized to float tuples on both sides, so the comparison is
+    by coordinate value whatever numeric types the model emitted.  Nodes
+    absent from ``before`` (new arrivals carried by the model) count as
+    moved.  This is the exact comparison
+    :meth:`repro.net.network.Network.start_mobility` applies when mirroring a
+    mobility step into its spatial index and link-state cache.
+    """
+    moved: Dict[Hashable, Point] = {}
+    for node, pos in after.items():
+        new = (float(pos[0]), float(pos[1]))
+        old = before.get(node)
+        if old is None or (float(old[0]), float(old[1])) != new:
+            moved[node] = new
+    return moved
 
 
 class MobilityModel:

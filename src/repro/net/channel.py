@@ -10,17 +10,33 @@ whether and when the message is delivered.
 a delivery delay.  :class:`CollisionChannel` additionally drops receptions when
 two transmissions overlap at the receiver within a configurable collision
 window, modelling the "at most one message on the channel" hypothesis.
+
+Batched decisions
+-----------------
+:meth:`ChannelModel.decide_batch` decides a whole receiver batch in one call —
+the hot path of every broadcast.  The scalar loop is the semantic *reference*:
+any batched implementation must produce the same delivered set, the same
+delays and leave the RNG in the same state as ``[self.decide(sender, r, time)
+for r in receivers]``.  The stock vectorized paths exploit that a numpy
+``Generator`` fills ``rng.random(n)`` / ``rng.uniform(lo, hi, n)`` from the
+exact bit stream ``n`` scalar draws would consume, so seeded runs replay
+bit-identically with the fast path on or off (regression-tested in
+``tests/test_channel_batch.py``).  The one configuration whose scalar loop
+*interleaves* two draw kinds per receiver (``loss_probability > 0`` together
+with a non-degenerate delay interval) cannot be expressed as array draws and
+falls back to the scalar loop — batching still amortizes the call overhead of
+the network layer around it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ChannelDecision", "ChannelModel", "PerfectChannel", "LossyChannel",
-           "CollisionChannel"]
+__all__ = ["ChannelDecision", "BatchDecisions", "ChannelModel", "PerfectChannel",
+           "LossyChannel", "CollisionChannel"]
 
 
 @dataclass(frozen=True)
@@ -32,12 +48,58 @@ class ChannelDecision:
     reason: str = "ok"
 
 
+@dataclass(frozen=True)
+class BatchDecisions:
+    """Outcome of one transmission towards a whole receiver batch.
+
+    ``delivered[i]`` / ``delays[i]`` mirror the :class:`ChannelDecision` the
+    scalar loop would have produced for ``receivers[i]`` (dropped entries
+    carry delay ``0.0``).  ``reasons`` is ``None`` whenever every entry
+    follows the default pattern — ``"ok"`` for delivered, ``"loss"`` for
+    dropped — so the common lossy batch never materializes a reason list;
+    channels with other reasons (collisions) provide one string per
+    receiver.  Consumers needing trace-exact reasons substitute the default
+    pattern when ``reasons`` is ``None``.
+    """
+
+    delivered: Sequence[bool]
+    delays: Sequence[float]
+    reasons: Optional[List[str]] = None
+
+    def accepted(self) -> int:
+        """Number of delivered receivers."""
+        return sum(self.delivered)
+
+
 class ChannelModel:
     """Interface: decide delivery of one transmission towards one receiver."""
 
     def decide(self, sender: Hashable, receiver: Hashable, time: float) -> ChannelDecision:
         """Return the delivery decision for a transmission emitted at ``time``."""
         raise NotImplementedError
+
+    def decide_batch(self, sender: Hashable, receivers: Sequence[Hashable],
+                     time: float) -> BatchDecisions:
+        """Decide one transmission towards every receiver of a batch.
+
+        Reference semantics (and the default implementation): the scalar
+        :meth:`decide` loop over ``receivers`` in order.  Overrides must keep
+        the delivered set, the delays *and* the RNG consumption identical to
+        that loop, so a seeded run replays bit-exactly whichever path the
+        network takes.
+        """
+        delivered: List[bool] = []
+        delays: List[float] = []
+        reasons: List[str] = []
+        drops = 0
+        for receiver in receivers:
+            decision = self.decide(sender, receiver, time)
+            delivered.append(decision.delivered)
+            delays.append(decision.delay)
+            reasons.append(decision.reason)
+            drops += not decision.delivered
+        return BatchDecisions(delivered=delivered, delays=delays,
+                              reasons=reasons if drops else None)
 
 
 class PerfectChannel(ChannelModel):
@@ -57,6 +119,15 @@ class PerfectChannel(ChannelModel):
 
     def decide(self, sender, receiver, time) -> ChannelDecision:
         return self._decision
+
+    def decide_batch(self, sender, receivers, time) -> BatchDecisions:
+        if type(self).decide is not PerfectChannel.decide:
+            # A subclass overriding only decide() gets the scalar reference
+            # loop, keeping the batched and per-receiver paths bit-identical.
+            return super().decide_batch(sender, receivers, time)
+        n = len(receivers)
+        delay = self._decision.delay
+        return BatchDecisions(delivered=[True] * n, delays=[delay] * n)
 
 
 class LossyChannel(ChannelModel):
@@ -101,6 +172,55 @@ class LossyChannel(ChannelModel):
         self.delivered += 1
         return ChannelDecision(delivered=True, delay=self._draw_delay())
 
+    def _lossy_batch(self, n: int) -> Optional[BatchDecisions]:
+        """Vectorized loss/delay core for ``n`` receivers, or ``None``.
+
+        Returns ``None`` in the one configuration (``loss_probability > 0``
+        with a non-degenerate delay interval) whose scalar reference
+        interleaves a ``random()`` and a ``uniform()`` draw per receiver —
+        array draws cannot reproduce that stream.  Every other configuration
+        consumes at most one draw *kind*, so one array draw is bit-identical
+        to the scalar loop.  Updates the delivered/dropped counters exactly as
+        ``n`` scalar calls would.
+        """
+        p = self.loss_probability
+        variable_delay = self.max_delay != self.min_delay
+        if p > 0 and variable_delay:
+            return None
+        if n == 0:
+            return BatchDecisions(delivered=[], delays=[])
+        if p <= 0:
+            self.delivered += n
+            if variable_delay:
+                delays = self._rng.uniform(self.min_delay, self.max_delay, n).tolist()
+            else:
+                delays = [self.min_delay] * n
+            return BatchDecisions(delivered=[True] * n, delays=delays)
+        delivered = (self._rng.random(n) >= p).tolist()
+        accepted = sum(delivered)
+        self.delivered += accepted
+        self.dropped += n - accepted
+        constant = self.min_delay
+        if constant == 0.0:
+            delays = [0.0] * n
+        else:
+            delays = [constant if kept else 0.0 for kept in delivered]
+        # reasons=None: loss drops are exactly the default "ok"/"loss" pattern.
+        return BatchDecisions(delivered=delivered, delays=delays)
+
+    def decide_batch(self, sender, receivers, time) -> BatchDecisions:
+        # A subclass overriding any scalar hook (decide or _draw_delay) must
+        # stay the single source of truth on both pipelines: the vectorized
+        # core hardcodes the stock draw pattern, so fall back to the scalar
+        # reference loop.
+        if (type(self).decide is not LossyChannel.decide
+                or type(self)._draw_delay is not LossyChannel._draw_delay):
+            return super().decide_batch(sender, receivers, time)
+        batch = self._lossy_batch(len(receivers))
+        if batch is None:
+            return super().decide_batch(sender, receivers, time)
+        return batch
+
 
 class CollisionChannel(LossyChannel):
     """Lossy channel with receiver-side collisions.
@@ -132,3 +252,43 @@ class CollisionChannel(LossyChannel):
             return ChannelDecision(delivered=False, reason="collision")
         self._last_heard[receiver] = (sender, time)
         return super().decide(sender, receiver, time)
+
+    def decide_batch(self, sender, receivers, time) -> BatchDecisions:
+        # The interleaved-draw configuration — and any subclass overriding a
+        # scalar hook (decide or _draw_delay) — must take the scalar
+        # reference loop *before* any collision state is touched:
+        # re-deciding a receiver after its ``_last_heard`` update would no
+        # longer collide.
+        if (type(self).decide is not CollisionChannel.decide
+                or type(self)._draw_delay is not LossyChannel._draw_delay
+                or (self.loss_probability > 0 and self.max_delay != self.min_delay)):
+            return ChannelModel.decide_batch(self, sender, receivers, time)
+        n = len(receivers)
+        collided = [False] * n
+        last_heard, window = self._last_heard, self.collision_window
+        for i, receiver in enumerate(receivers):
+            last = last_heard.get(receiver)
+            if last is not None and last[0] != sender and (time - last[1]) < window:
+                self.collisions += 1
+                collided[i] = True
+            last_heard[receiver] = (sender, time)
+        survivors = n - sum(collided)
+        # Collision checks draw no randomness, so the lossy core consumes the
+        # RNG exactly as the scalar loop does: once per surviving receiver,
+        # in order.
+        sub = self._lossy_batch(survivors)
+        if survivors == n:
+            return sub
+        delivered: List[bool] = [False] * n
+        delays: List[float] = [0.0] * n
+        reasons: List[str] = ["collision"] * n
+        j = 0
+        for i in range(n):
+            if collided[i]:
+                continue
+            delivered[i] = sub.delivered[j]
+            delays[i] = sub.delays[j]
+            reasons[i] = (sub.reasons[j] if sub.reasons is not None
+                          else ("ok" if sub.delivered[j] else "loss"))
+            j += 1
+        return BatchDecisions(delivered=delivered, delays=delays, reasons=reasons)

@@ -1,0 +1,254 @@
+"""Incremental directed link-state cache.
+
+Every topology snapshot used to re-test the link predicate over all candidate
+pairs harvested from the spatial index, and every broadcast re-tested the
+vicinity of each candidate — even though between two mobility steps only the
+links of the nodes that actually *moved* can change.  This module maintains
+the directed edge set ``u -> v iff radio.link_exists(u, v)`` incrementally:
+the :class:`repro.net.network.Network` feeds it membership, position and
+radio-mutation deltas, and the cache patches only the links of the touched
+nodes (harvested from the grid-cell neighbourhood of their old and new
+positions).  Broadcast candidate lists, topology snapshots and
+``neighbors_of`` queries are then served from the stored adjacency without a
+single distance computation.
+
+Invariants (relied on by the network and enforced by the randomized
+equivalence suite in ``tests/test_linkstate.py``):
+
+* **Cache ≡ rebuild.**  After any sequence of ``on_insert`` / ``on_remove`` /
+  ``on_move`` deltas, the stored arc set is identical to a from-scratch
+  rebuild over the current positions.  Link tests go through the *exact* same
+  ``radio.link_exists`` calls (same ``math.hypot`` float semantics) as the
+  brute-force paths, so there is no drift at range boundaries.
+* **Activity-blind.**  Links are maintained for *all* nodes, active or not —
+  activation churn flips no link, so it costs the cache nothing; activity is
+  filtered by the network at query time, exactly like the spatial index.
+* **Determinism.**  Sorted adjacency (:meth:`out_neighbors_sorted`) orders
+  receivers by node insertion order — the same order the per-receiver scan
+  visits them — so stochastic channels consume their RNG streams identically
+  whether the candidate list comes from the cache or from a grid query.
+* **Bounded staleness = none.**  The cache never guesses: a moved node's old
+  links are dropped via the stored reverse adjacency (no geometric search
+  needed) and its new links are re-tested against the grid-cell
+  neighbourhood of the new position, which covers every node within
+  ``max_range`` in either direction.
+
+The cache is invalidated wholesale (rebuilt by the network) when the radio is
+mutated in place, since a radio mutation can flip arbitrary links without any
+node moving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Tuple
+
+from .radio import RadioModel
+from .spatialindex import UniformGridIndex
+
+__all__ = ["LinkStateCache"]
+
+
+class LinkStateCache:
+    """Directed edge set over node positions, maintained by deltas.
+
+    Parameters
+    ----------
+    radius:
+        The radio's ``max_range()`` at build time; no link can span farther,
+        so the grid-cell neighbourhood of radius ``radius`` around a node
+        covers all its potential link partners in either direction.
+    radio:
+        Link predicate provider (``link_exists``).
+    positions:
+        The network's *live* position mapping (shared, not copied): the
+        network updates a moved node's position first, then calls
+        :meth:`on_move`.
+    order:
+        The network's live ``node -> insertion index`` mapping, used to sort
+        adjacency deterministically.
+    index:
+        The network's live grid index (mirrors ``positions``).
+    """
+
+    def __init__(self, radius: float, radio: RadioModel,
+                 positions: Mapping[Hashable, Tuple[float, float]],
+                 order: Mapping[Hashable, int],
+                 index: UniformGridIndex):
+        self.radius = float(radius)
+        self.radio = radio
+        self._positions = positions
+        self._order = order
+        self.index = index
+        #: node -> insertion-ordered dict of link targets (u -> v arcs).
+        self._out: Dict[Hashable, Dict[Hashable, None]] = {}
+        #: node -> insertion-ordered dict of link sources (v -> u arcs).
+        self._in: Dict[Hashable, Dict[Hashable, None]] = {}
+        #: lazily sorted out-adjacency, invalidated when the out-set changes.
+        self._sorted_out: Dict[Hashable, List[Hashable]] = {}
+        #: One shared inclusive link radius (or None): captured once so the
+        #: drop/harvest/query paths can never branch inconsistently.  With a
+        #: uniform radius every link is symmetric — the out-set *is* the
+        #: symmetric neighbourhood.  A radio whose answer changes triggers a
+        #: full cache replacement (mutation notify / max_range revalidation).
+        self._uniform_radius = radio.uniform_link_radius()
+        self._uniform = self._uniform_radius is not None
+        self.rebuild()
+
+    # ------------------------------------------------------------ bookkeeping
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def rebuild(self) -> None:
+        """Recompute every link from scratch (initial build / radio change)."""
+        self._out = {node: {} for node in self._positions}
+        self._in = {node: {} for node in self._positions}
+        self._sorted_out.clear()
+        positions, radio = self._positions, self.radio
+        if self._uniform:
+            # One inclusive radius for every pair: each harvested pair is a
+            # link in both directions, no predicate calls needed.
+            for u, v in self.index.pairs_within(self._uniform_radius):
+                self._out[u][v] = None
+                self._in[v][u] = None
+                self._out[v][u] = None
+                self._in[u][v] = None
+            return
+        for u, v in self.index.pairs_within(self.radius):
+            pu, pv = positions[u], positions[v]
+            if radio.link_exists(u, v, pu, pv):
+                self._out[u][v] = None
+                self._in[v][u] = None
+            if radio.link_exists(v, u, pv, pu):
+                self._out[v][u] = None
+                self._in[u][v] = None
+
+    # ----------------------------------------------------------------- deltas
+
+    def _harvest_links(self, node: Hashable,
+                       pos: Tuple[float, float]) -> Tuple[Dict, Dict]:
+        """(out, in) link dicts of ``node`` at ``pos``, patching peers in place.
+
+        Uniform-radius radios take the fused path: the distance-annotated grid
+        query *is* the link set (both directions), so harvesting one node's
+        links costs a single cell-neighbourhood scan with one ``hypot`` per
+        candidate.  Other radios re-test ``link_exists`` per candidate.
+        """
+        out: Dict[Hashable, None] = {}
+        into: Dict[Hashable, None] = {}
+        positions, radio = self._positions, self.radio
+        if self._uniform:
+            sorted_out, _in, _out = self._sorted_out, self._in, self._out
+            for w in self.index.query_ball(pos, self._uniform_radius):
+                if w == node:
+                    continue
+                out[w] = None
+                into[w] = None
+                _in[w][node] = None
+                _out[w][node] = None
+                sorted_out.pop(w, None)
+            return out, into
+        for w in self.index.query_ball(pos, self.radius):
+            if w == node:
+                continue
+            wpos = positions[w]
+            if radio.link_exists(node, w, pos, wpos):
+                out[w] = None
+                self._in[w][node] = None
+            if radio.link_exists(w, node, wpos, pos):
+                into[w] = None
+                self._out[w][node] = None
+                self._sorted_out.pop(w, None)
+        return out, into
+
+    def on_insert(self, node: Hashable) -> None:
+        """A node appeared (already present in positions/order/index)."""
+        out, into = self._harvest_links(node, self._positions[node])
+        self._out[node] = out
+        self._in[node] = into
+        self._sorted_out.pop(node, None)
+
+    def on_remove(self, node: Hashable) -> None:
+        """A node disappeared (already gone from positions/order/index)."""
+        for w in self._out.pop(node, ()):
+            self._in[w].pop(node, None)
+        for w in self._in.pop(node, ()):
+            self._out[w].pop(node, None)
+            self._sorted_out.pop(w, None)
+        self._sorted_out.pop(node, None)
+
+    def on_move(self, node: Hashable) -> None:
+        """``node`` changed position (positions/index already updated).
+
+        Old links are dropped through the stored reverse adjacency; new links
+        are harvested from the grid-cell neighbourhood of the *new* position —
+        the only region that can hold a link in either direction.
+        """
+        if self._uniform:
+            # Symmetric links: the out- and in-sets coincide, one pass drops
+            # both directions at every peer.
+            sorted_out, _in, _out = self._sorted_out, self._in, self._out
+            for w in _out[node]:
+                _in[w].pop(node, None)
+                _out[w].pop(node, None)
+                sorted_out.pop(w, None)
+        else:
+            for w in self._out[node]:
+                self._in[w].pop(node, None)
+            for w in self._in[node]:
+                self._out[w].pop(node, None)
+                self._sorted_out.pop(w, None)
+        out, into = self._harvest_links(node, self._positions[node])
+        self._out[node] = out
+        self._in[node] = into
+        self._sorted_out.pop(node, None)
+
+    # ---------------------------------------------------------------- queries
+
+    def has_arc(self, u: Hashable, v: Hashable) -> bool:
+        """Whether the directed link ``u -> v`` currently exists."""
+        return v in self._out.get(u, ())
+
+    def out_neighbors(self, node: Hashable) -> Dict[Hashable, None]:
+        """Link targets of ``node`` (the live dict — do not mutate)."""
+        return self._out[node]
+
+    def in_neighbors(self, node: Hashable) -> Dict[Hashable, None]:
+        """Link sources of ``node`` (the live dict — do not mutate)."""
+        return self._in[node]
+
+    def out_neighbors_sorted(self, node: Hashable) -> List[Hashable]:
+        """Link targets of ``node`` in insertion order (cached; do not mutate).
+
+        This is the broadcast receiver list of deterministic radios: the exact
+        sequence the per-receiver scan would visit after its vicinity filter.
+        """
+        cached = self._sorted_out.get(node)
+        if cached is None:
+            cached = sorted(self._out[node], key=self._order.__getitem__)
+            self._sorted_out[node] = cached
+        return cached
+
+    def symmetric_neighbors(self, node: Hashable) -> Iterable[Hashable]:
+        """Nodes linked with ``node`` in both directions (unsorted).
+
+        With a uniform link radius this is the live out-dict (do not mutate);
+        asymmetric radios pay one reverse-set intersection.
+        """
+        if self._uniform:
+            return self._out[node]
+        into = self._in[node]
+        return [w for w in self._out[node] if w in into]
+
+    def arcs(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        """Every directed link, grouped by source (unsorted within groups)."""
+        for u, targets in self._out.items():
+            for v in targets:
+                yield (u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"LinkStateCache(radius={self.radius}, nodes={len(self._out)}, "
+                f"arcs={sum(len(t) for t in self._out.values())})")

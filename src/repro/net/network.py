@@ -19,12 +19,37 @@ O(local density) instead of O(N).  Topology snapshots are additionally cached
 behind a *generation stamp*: every position change (``set_position``, mobility
 steps), membership change (``add_node`` / ``remove_node``) and activation
 change bumps the generation, and a snapshot is rebuilt only when its stamp is
-stale.  Radios whose parameters are mutated in place without changing
-``max_range()`` (e.g. lowering one node's range on an
-:class:`~repro.net.radio.AsymmetricRangeRadio`) must be followed by a call to
+stale.  Stock radios notify the network of in-place parameter mutations
+(their setters call :meth:`~repro.net.radio.RadioModel.notify_mutation`);
+custom radios mutated through private state must be followed by an explicit
 :meth:`Network.invalidate_topology`.  Radios with unbounded range
 (``max_range() is None``) keep the original brute-force scan, still behind the
 same snapshot cache.
+
+Vectorized delivery pipeline
+----------------------------
+On top of the grid, the network maintains an incremental
+:class:`~repro.net.linkstate.LinkStateCache`: the directed edge set
+``u -> v iff link_exists(u, v)`` is patched per delta (only the links of
+moved / added / removed nodes are re-tested), so topology refreshes under
+mobility no longer rescan candidate pairs.  Broadcasts from radios whose
+vicinity test is deterministic
+(:meth:`~repro.net.radio.RadioModel.deterministic_vicinity`) take a batched
+fast path: the receiver list is served from the sender's cached out-links
+(zero distance tests), the channel decides the whole batch in one
+:meth:`~repro.net.channel.ChannelModel.decide_batch` call (vectorized RNG
+draws consuming the identical stream as the scalar loop), and purely-delayed
+batches are bulk-inserted through
+:meth:`~repro.sim.engine.Simulator.schedule_many`.  ``vectorized_delivery=
+False`` (or a stochastic-vicinity radio, or a disabled/unavailable spatial
+index) falls back to the original per-receiver scan; seeded runs replay
+bit-identically on either path — the invariant ``tests/test_replay_
+determinism.py`` enforces at 500 nodes.  One contract makes this exact:
+processes must not *synchronously* broadcast or flip activation from inside
+``on_message`` (every protocol in this repository does both through timers);
+the batched path decides the whole receiver batch ahead of its same-tick
+deliveries, so a synchronous side effect would interleave channel draws — or
+shrink the receiver set — differently than the scalar path.
 """
 
 from __future__ import annotations
@@ -40,6 +65,7 @@ from repro.sim.trace import TraceRecorder
 
 from .channel import ChannelModel, PerfectChannel
 from .geometry import Point
+from .linkstate import LinkStateCache
 from .radio import RadioModel
 from .spatialindex import UniformGridIndex
 from .topology import snapshot_graph
@@ -68,19 +94,28 @@ class Network:
         Serve neighbour queries from a uniform grid index when the radio has a
         bounded range (default).  Disable to force the brute-force scans, e.g.
         to benchmark or to cross-check the index.
+    vectorized_delivery:
+        Serve broadcasts and topology queries from the incremental link-state
+        cache with batched channel decisions (default).  Disable to force the
+        original per-receiver scan, e.g. to benchmark or to cross-check the
+        pipeline; seeded runs are bit-identical either way.  Requires the
+        spatial index (it degrades to the scan path otherwise).
     """
 
     def __init__(self, sim: Simulator, radio: RadioModel,
                  channel: Optional[ChannelModel] = None,
                  mobility: Optional[Any] = None,
                  trace: Optional[TraceRecorder] = None,
-                 use_spatial_index: bool = True):
+                 use_spatial_index: bool = True,
+                 vectorized_delivery: bool = True):
         self.sim = sim
         self.radio = radio
         self.channel = channel if channel is not None else PerfectChannel()
         self.mobility = mobility
         self.trace = trace
+        self._linkstate: Optional[LinkStateCache] = None
         self.use_spatial_index = bool(use_spatial_index)
+        self.vectorized_delivery = bool(vectorized_delivery)
         self._processes: Dict[Hashable, Process] = {}
         self._positions: Dict[Hashable, Point] = {}
         self._order: Dict[Hashable, int] = {}
@@ -91,11 +126,19 @@ class Network:
         self._mobility_handle = None
         self._position_listeners: List[Callable[[float, Dict[Hashable, Point]], None]] = []
         self._index: Optional[UniformGridIndex] = None
+        #: sender -> (generation, linkstate, active sorted receivers);
+        #: hello-beacon traffic re-broadcasts between topology changes, so
+        #: the filtered receiver list is reused until a position/membership/
+        #: activation change bumps the generation or a radio change replaces
+        #: the link-state cache.
+        self._receiver_cache: Dict[Hashable,
+                                   Tuple[int, LinkStateCache, List[Hashable]]] = {}
         self._generation = 0
         self._topo_cache: Optional[nx.Graph] = None
         self._topo_cache_key: Optional[Tuple[int, Optional[float]]] = None
         self._directed_cache: Optional[nx.DiGraph] = None
         self._directed_cache_key: Optional[Tuple[int, Optional[float]]] = None
+        radio.add_mutation_listener(self.invalidate_topology)
 
     # ------------------------------------------------------------- topology
 
@@ -114,6 +157,38 @@ class Network:
         """Monotonic counter bumped on every position/membership/activation change."""
         return self._generation
 
+    @property
+    def use_spatial_index(self) -> bool:
+        """Whether neighbour queries go through the uniform grid index.
+
+        Disabling also drops the link-state cache (it cannot be maintained
+        without the grid), so the brute-force baseline pays zero incremental
+        upkeep; re-enabling rebuilds both on the next query.
+        """
+        return self._use_spatial_index
+
+    @use_spatial_index.setter
+    def use_spatial_index(self, value: bool) -> None:
+        self._use_spatial_index = bool(value)
+        if not self._use_spatial_index:
+            self._linkstate = None
+
+    @property
+    def vectorized_delivery(self) -> bool:
+        """Whether the batched link-state pipeline is enabled.
+
+        Disabling drops the link-state cache, so the scan path pays zero
+        incremental maintenance (important when benchmarking it);
+        re-enabling rebuilds the cache on the next query.
+        """
+        return self._vectorized_delivery
+
+    @vectorized_delivery.setter
+    def vectorized_delivery(self, value: bool) -> None:
+        self._vectorized_delivery = bool(value)
+        if not self._vectorized_delivery:
+            self._linkstate = None
+
     def position_of(self, node_id: Hashable) -> Point:
         """Current position of ``node_id``."""
         return self._positions[node_id]
@@ -123,18 +198,19 @@ class Network:
         if node_id not in self._processes:
             raise KeyError(f"unknown node {node_id!r}")
         pos = (float(position[0]), float(position[1]))
-        self._positions[node_id] = pos
-        if self._index is not None:
-            self._index.update(node_id, pos)
+        self._apply_move(node_id, pos)
         self._generation += 1
 
     def set_positions(self, positions: Mapping[Hashable, Point]) -> None:
         """Update several node positions at once (one generation bump).
 
         Unlike a loop of :meth:`set_position` calls, a batch teleport
-        invalidates the topology snapshots exactly once.  Unknown node ids are
-        rejected before any position changes, so a failed call leaves the
-        network untouched.
+        invalidates the topology snapshots at most once.  Unknown node ids
+        are rejected before any position changes, so a failed call leaves the
+        network untouched.  Nodes whose position is unchanged cost nothing —
+        neither the grid index nor the link-state cache is touched for them —
+        and a batch that moves nobody leaves every cache warm (no
+        generation bump).
         """
         updates: Dict[Hashable, Point] = {}
         for node_id, position in positions.items():
@@ -143,19 +219,33 @@ class Network:
             updates[node_id] = (float(position[0]), float(position[1]))
         if not updates:
             return
+        applied = False
         for node_id, pos in updates.items():
-            self._positions[node_id] = pos
-            if self._index is not None:
-                self._index.update(node_id, pos)
-        self._generation += 1
+            if pos != self._positions[node_id]:
+                self._apply_move(node_id, pos)
+                applied = True
+        if applied:
+            self._generation += 1
+
+    def _apply_move(self, node_id: Hashable, pos: Point) -> None:
+        """Move one node, mirroring the grid index and the link-state cache."""
+        self._positions[node_id] = pos
+        if self._index is not None:
+            self._index.update(node_id, pos)
+        if self._linkstate is not None:
+            self._linkstate.on_move(node_id)
 
     def invalidate_topology(self) -> None:
         """Force the next snapshot/neighbour query to recompute.
 
-        Required after mutating the radio model in place in a way that does not
-        change ``max_range()`` (the network cannot observe such mutations).
+        Drops the incremental link-state cache too: a radio mutated in place
+        can flip arbitrary links without any node moving, so no delta knows
+        which links to re-test.  Stock radios call this automatically through
+        their mutation listeners; custom radios mutated via private state must
+        call it explicitly.
         """
         self._generation += 1
+        self._linkstate = None
 
     def process(self, node_id: Hashable) -> Process:
         """The protocol process attached to ``node_id``."""
@@ -167,8 +257,15 @@ class Network:
         return dict(self._processes)
 
     def active_nodes(self) -> Set[Hashable]:
-        """Identifiers of the currently active nodes."""
-        return {nid for nid, proc in self._processes.items() if proc.active}
+        """Identifiers of the currently active nodes.
+
+        The network gates on the internal ``_active`` flag everywhere — the
+        same flag :meth:`repro.sim.process.Process.deliver` checks — so both
+        delivery pipelines and all snapshot builds share one activity
+        predicate even if a subclass overrides the public ``active``
+        property.
+        """
+        return {nid for nid, proc in self._processes.items() if proc._active}
 
     def add_node(self, process: Process, position: Point) -> None:
         """Attach a protocol process at ``position``."""
@@ -181,6 +278,8 @@ class Network:
         self._order[process.node_id] = next(self._order_counter)
         if self._index is not None:
             self._index.insert(process.node_id, pos)
+        if self._linkstate is not None:
+            self._linkstate.on_insert(process.node_id)
         self._generation += 1
 
     def remove_node(self, node_id: Hashable) -> Process:
@@ -190,6 +289,9 @@ class Network:
         self._order.pop(node_id, None)
         if self._index is not None:
             self._index.remove(node_id)
+        if self._linkstate is not None:
+            self._linkstate.on_remove(node_id)
+        self._receiver_cache.pop(node_id, None)
         self._generation += 1
         return process
 
@@ -235,20 +337,31 @@ class Network:
         step = float(interval if interval is not None else self.mobility.step_interval)
         if step <= 0:
             raise ValueError("mobility interval must be positive")
+        # Function-level import: the mobility package pulls in models that
+        # import repro.net, so a module-level import would be circular.
+        from repro.mobility.base import moved_nodes
 
         def _move() -> None:
-            new_positions = self.mobility.step(self._positions, step)
-            for node_id, p in new_positions.items():
+            # The model gets a copy: a model that mutates its input in place
+            # and returns it would otherwise make the before/after diff
+            # vacuous (and could corrupt the live table mid-comparison).
+            new_positions = self.mobility.step(dict(self._positions), step)
+            # Delta maintenance: paused/static nodes flip no link, so only
+            # actually-moved nodes touch the grid and the link-state cache —
+            # and a step that moved nobody leaves the snapshot/receiver
+            # caches warm (no generation bump).
+            moved = moved_nodes(self._positions, new_positions)
+            applied = False
+            for node_id, pos in moved.items():
                 if node_id not in self._processes:
                     # Mobility models may carry state for nodes the network
                     # never knew or has removed; admitting them would break
                     # the positions ↔ processes ↔ index mirror invariant.
                     continue
-                pos = (float(p[0]), float(p[1]))
-                self._positions[node_id] = pos
-                if self._index is not None:
-                    self._index.update(node_id, pos)
-            self._generation += 1
+                self._apply_move(node_id, pos)
+                applied = True
+            if applied:
+                self._generation += 1
             if self._position_listeners:
                 # One shared snapshot per step: copying the whole position map
                 # once instead of once per listener.
@@ -294,6 +407,38 @@ class Network:
         candidates.sort(key=self._order.__getitem__)
         return candidates
 
+    def _link_state(self) -> Optional[LinkStateCache]:
+        """The incremental link-state cache, (re)built on demand.
+
+        ``None`` whenever the vectorized pipeline is off or the spatial index
+        is unavailable (unbounded radio / index disabled) — callers then take
+        the scan paths.  A ``max_range`` change (new grid cell size) rebuilds
+        the cache against the fresh index.
+        """
+        if not self.vectorized_delivery:
+            return None
+        cache = self._linkstate
+        if (cache is not None and self.use_spatial_index
+                and cache.index is self._index
+                and cache.radius == self.radio.max_range()):
+            # Fast path (per broadcast / per neighbour query): deltas keep the
+            # cache fresh and every stock-radio mutation notifies us.  The
+            # radius check preserves the pre-existing contract for custom
+            # radios mutated silently: a mutation that changes max_range() is
+            # auto-detected (as the snapshot cache key always did); only
+            # mutations that leave max_range() untouched require an explicit
+            # invalidate_topology().
+            return cache
+        index = self._spatial_index()
+        if index is None:
+            return None
+        radius = self.radio.max_range()
+        if cache is None or cache.radius != radius or cache.index is not index:
+            cache = LinkStateCache(radius, self.radio, self._positions,
+                                   self._order, index)
+            self._linkstate = cache
+        return cache
+
     # ------------------------------------------------------------- messaging
 
     def broadcast(self, sender: Hashable, payload: Any) -> int:
@@ -303,18 +448,28 @@ class Network:
         Actual delivery can still be suppressed if a receiver deactivates
         before the channel delay elapses; ``messages_delivered`` counts only
         messages handed to an active process.
+
+        Radios with a deterministic vicinity take the batched fast path: the
+        receiver list comes straight from the link-state cache (no distance
+        tests), the channel decides the whole batch at once, and purely
+        delayed batches are bulk-scheduled.  Every divergence-relevant step
+        (receiver order, RNG consumption, trace records, event sequence
+        numbers) is identical to the per-receiver scan below.
         """
         sender_proc = self._processes[sender]
-        if not sender_proc.active:
+        if not sender_proc._active:
             return 0
         self.messages_sent += 1
         if self.trace is not None:
             self.trace.record(self.sim.now, "send", sender=sender)
+        linkstate = self._link_state() if self.radio.deterministic_vicinity() else None
+        if linkstate is not None:
+            return self._broadcast_batched(linkstate, sender, payload)
         sender_pos = self._positions[sender]
         accepted = 0
         for receiver in self._vicinity_candidates(sender):
             proc = self._processes[receiver]
-            if not proc.active:
+            if not proc._active:
                 continue
             receiver_pos = self._positions[receiver]
             if not self.radio.in_vicinity(sender, receiver, sender_pos, receiver_pos):
@@ -333,9 +488,77 @@ class Network:
                 self.sim.schedule(decision.delay, self._deliver, sender, receiver, payload)
         return accepted
 
+    def _broadcast_batched(self, linkstate: LinkStateCache, sender: Hashable,
+                           payload: Any) -> int:
+        """Batched tail of :meth:`broadcast` (deterministic-vicinity radios).
+
+        The sender's cached out-links *are* the vicinity, so the per-receiver
+        distance test disappears; active receivers keep insertion order, so
+        the channel consumes its RNG exactly as the scalar loop would.
+        """
+        generation = self._generation
+        cached = self._receiver_cache.get(sender)
+        # Keyed on (generation, cache instance): every position/membership/
+        # activation change bumps the generation, and any radio change —
+        # notified or auto-detected through max_range() — replaces the
+        # link-state instance.
+        if cached is not None and cached[0] == generation and cached[1] is linkstate:
+            receivers = cached[2]
+        else:
+            processes = self._processes
+            receivers = [r for r in linkstate.out_neighbors_sorted(sender)
+                         if processes[r]._active]
+            self._receiver_cache[sender] = (generation, linkstate, receivers)
+        if not receivers:
+            return 0
+        now = self.sim.now
+        batch = self.channel.decide_batch(sender, receivers, now)
+        delivered, delays = batch.delivered, batch.delays
+        accepted = batch.accepted()
+        trace = self.trace
+        if accepted == len(receivers) and min(delays) > 0:
+            # Purely delayed, nothing dropped: one bulk heap insertion.  No
+            # callback runs between the decisions and the inserts, so the
+            # events get the same contiguous sequence numbers the scalar
+            # loop's individual pushes would.
+            self.sim.schedule_many(delays, self._deliver,
+                                   [(sender, receiver, payload) for receiver in receivers])
+            return accepted
+        reasons = batch.reasons
+        processes = self._processes
+        schedule = self.sim.schedule
+        deliver = self._deliver
+        for i, receiver in enumerate(receivers):
+            if not delivered[i]:
+                self.messages_dropped += 1
+                if trace is not None:
+                    trace.record(now, "drop", sender=sender, receiver=receiver,
+                                 reason=reasons[i] if reasons is not None else "loss")
+                continue
+            delay = delays[i]
+            if delay <= 0:
+                # _deliver inlined: this runs a quarter-million times per
+                # simulated second at 1000 nodes, and the call overhead is
+                # the largest remaining per-receiver cost.  Semantics are
+                # identical — a receiver deactivated by an earlier delivery
+                # of this very batch is still skipped, and the counter
+                # advances before the process hook exactly as in _deliver.
+                proc = processes.get(receiver)
+                # _active read directly: the property costs a call per
+                # delivery and this loop dominates dense-field runs.
+                if proc is None or not proc._active:
+                    continue
+                self.messages_delivered += 1
+                if trace is not None:
+                    trace.record(now, "receive", sender=sender, receiver=receiver)
+                proc.deliver(sender, payload)
+            else:
+                schedule(delay, deliver, sender, receiver, payload)
+        return accepted
+
     def _deliver(self, sender: Hashable, receiver: Hashable, payload: Any) -> None:
         proc = self._processes.get(receiver)
-        if proc is None or not proc.active:
+        if proc is None or not proc._active:
             return
         self.messages_delivered += 1
         if self.trace is not None:
@@ -354,6 +577,12 @@ class Network:
         key = self._cache_key()
         if self._topo_cache is not None and self._topo_cache_key == key:
             return self._topo_cache
+        linkstate = self._link_state()
+        if linkstate is not None:
+            graph = self._symmetric_from_linkstate(linkstate)
+            self._topo_cache = graph
+            self._topo_cache_key = key
+            return graph
         index = self._spatial_index()
         active = self.active_nodes()
         if index is None:
@@ -377,11 +606,46 @@ class Network:
         self._topo_cache_key = key
         return graph
 
+    def _symmetric_from_linkstate(self, linkstate: LinkStateCache) -> nx.Graph:
+        """Symmetric snapshot from cached links — zero link re-tests.
+
+        Nodes are visited in insertion order and each adjacency is served
+        pre-sorted, so edge insertion order is exactly the lexicographic
+        ``(order[u], order[v])`` order of the scan-based builds — downstream
+        graph algorithms replay identically.
+        """
+        active = self.active_nodes()
+        graph = nx.Graph()
+        graph.add_nodes_from(n for n in self._positions if n in active)
+        order = self._order
+        for u in graph:
+            u_order = order[u]
+            for v in linkstate.out_neighbors_sorted(u):
+                if order[v] > u_order and v in active and linkstate.has_arc(v, u):
+                    graph.add_edge(u, v)
+        return graph
+
+    def _directed_from_linkstate(self, linkstate: LinkStateCache) -> nx.DiGraph:
+        """Directed snapshot from cached links — zero link re-tests."""
+        active = self.active_nodes()
+        graph = nx.DiGraph()
+        graph.add_nodes_from(n for n in self._positions if n in active)
+        for u in graph:
+            graph.add_edges_from((u, v) for v in linkstate.out_neighbors_sorted(u)
+                                 if v in active)
+        return graph
+
     def _directed_snapshot(self) -> nx.DiGraph:
         """Current directed-link graph, rebuilt only when the stamp is stale."""
         key = self._cache_key()
         if self._directed_cache is not None and self._directed_cache_key == key:
             return self._directed_cache
+        linkstate = self._link_state()
+        if linkstate is not None:
+            graph = self._directed_from_linkstate(linkstate)
+            self._directed_cache = graph
+            self._directed_cache_key = key
+            return graph
         index = self._spatial_index()
         active = self.active_nodes()
         graph = nx.DiGraph()
@@ -425,7 +689,22 @@ class Network:
         return self._directed_snapshot().copy()
 
     def neighbors_of(self, node_id: Hashable) -> Set[Hashable]:
-        """Symmetric neighbours of ``node_id`` in the current snapshot."""
+        """Symmetric neighbours of ``node_id`` in the current snapshot.
+
+        Served straight from the link-state cache when available — O(degree)
+        per query, no graph construction; a warm symmetric snapshot is reused
+        otherwise.
+        """
+        linkstate = self._link_state()
+        if linkstate is not None:
+            # The cache mirrors the process table, so membership is settled by
+            # the process lookup alone.
+            processes = self._processes
+            proc = processes.get(node_id)
+            if proc is None or not proc._active:
+                return set()
+            return {w for w in linkstate.symmetric_neighbors(node_id)
+                    if processes[w]._active}
         graph = self._symmetric_snapshot()
         if node_id not in graph:
             return set()

@@ -23,7 +23,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -156,6 +156,38 @@ class Simulator:
         heapq.heappush(self._queue, event)
         self._pending += 1
         return EventHandle(event, self)
+
+    def schedule_many(self, delays: Sequence[float], callback: Callable[..., Any],
+                      args_seq: Sequence[tuple]) -> List[EventHandle]:
+        """Bulk-schedule ``callback(*args)`` for each ``(delay, args)`` pair.
+
+        Equivalent to ``[self.schedule(d, callback, *a) for d, a in
+        zip(delays, args_seq)]`` — same contiguous sequence numbers in the same
+        order, so executions interleave identically — but inserted through one
+        amortized path: when the batch is large relative to the heap, the
+        events are appended and the heap is rebuilt with a single
+        ``heapify`` (O(n + m)) instead of m sifting pushes (O(m log n)).
+        Pop order only depends on the total ``(time, seq)`` order, never on the
+        heap's internal layout, so both insertion strategies replay
+        identically.  All delays are validated before any event is inserted.
+        """
+        if len(delays) != len(args_seq):
+            raise SimulationError("schedule_many needs one args tuple per delay")
+        now = self._now
+        for delay in delays:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        events = [Event(time=float(now + delay), seq=next(self._counter),
+                        callback=callback, args=tuple(args))
+                  for delay, args in zip(delays, args_seq)]
+        if len(self._queue) < 4 * len(events):
+            self._queue.extend(events)
+            heapq.heapify(self._queue)
+        else:
+            for event in events:
+                heapq.heappush(self._queue, event)
+        self._pending += len(events)
+        return [EventHandle(event, self) for event in events]
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel an event previously returned by :meth:`schedule`."""

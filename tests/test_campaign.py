@@ -177,6 +177,152 @@ class TestExecutor:
         assert TraceRecorder().max_records is None
 
 
+class TestFailurePolicy:
+    """Per-task timeout + bounded retries -> structured failure rows."""
+
+    def test_policy_fields_validate_and_hash(self):
+        base = small_spec()
+        assert small_spec(task_timeout=None, task_retries=0).spec_hash() == base.spec_hash()
+        assert small_spec(task_timeout=30.0).spec_hash() != base.spec_hash()
+        assert small_spec(task_retries=2).spec_hash() != base.spec_hash()
+        with pytest.raises(ValueError):
+            small_spec(task_timeout=0.0)
+        with pytest.raises(ValueError):
+            small_spec(task_retries=-1)
+
+    def test_crash_retries_then_records_failure_row(self, monkeypatch):
+        import repro.experiments.suite as suite
+        calls = []
+
+        def explode(*args, **kwargs):
+            calls.append(1)
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setattr(suite, "run_experiment", explode)
+        task = small_spec().expand()[0]
+        outcome = execute_task(task, retries=2)
+        assert len(calls) == 3  # 1 attempt + 2 retries
+        assert len(outcome.rows) == 1
+        row = outcome.rows[0]
+        assert row["status"] == "failed" and row["failure"] == "RuntimeError"
+        assert row["attempts"] == 3 and "synthetic crash" in row["error"]
+        assert outcome.task_id == task.task_id and outcome.seed == task.seed
+
+    def test_retry_recovers_from_transient_crash(self, monkeypatch):
+        import repro.experiments.suite as suite
+        real = suite.run_experiment
+        calls = []
+
+        def flaky(*args, **kwargs):
+            calls.append(1)
+            if len(calls) == 1:
+                raise OSError("transient")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(suite, "run_experiment", flaky)
+        task = small_spec().expand()[0]
+        outcome = execute_task(task, retries=1)
+        reference = execute_task(task)  # later calls pass straight through
+        assert len(calls) == 3
+        # A successful retry is bit-identical to a clean first attempt: every
+        # attempt restarts from the task's derived seed.
+        assert outcome.rows == reference.rows
+        assert outcome.notes == reference.notes
+
+    def test_timeout_aborts_attempt(self, monkeypatch):
+        import time as time_module
+
+        import repro.experiments.suite as suite
+
+        def hang(*args, **kwargs):
+            time_module.sleep(60.0)
+
+        monkeypatch.setattr(suite, "run_experiment", hang)
+        task = small_spec().expand()[0]
+        start = time_module.perf_counter()
+        outcome = execute_task(task, timeout=0.2, retries=1)
+        elapsed = time_module.perf_counter() - start
+        assert elapsed < 5.0  # two 0.2s budgets, not two 60s sleeps
+        row = outcome.rows[0]
+        assert row["status"] == "failed" and row["failure"] == "timeout"
+        assert row["attempts"] == 2
+
+    def test_failed_task_does_not_kill_the_campaign(self, tmp_path, monkeypatch):
+        import repro.experiments.suite as suite
+        real = suite.run_experiment
+
+        # Fail exactly the first replicate (deterministic by derived seed).
+        spec = small_spec(task_retries=0)
+        doomed_seed = spec.expand()[0].seed
+
+        def selective(experiment_id, *args, **kwargs):
+            if kwargs.get("seed") == doomed_seed:
+                raise RuntimeError("doomed replicate")
+            return real(experiment_id, *args, **kwargs)
+
+        monkeypatch.setattr(suite, "run_experiment", selective)
+        store = ResultStore(tmp_path / "fail.jsonl")
+        result = run_campaign(spec, store=store, jobs=1)
+        assert result.executed == 2
+        failed, ok = result.outcomes
+        assert failed.rows[0]["status"] == "failed"
+        assert ok.rows and "status" not in ok.rows[0]
+        # The failure row is persisted, resumes like any record, and the
+        # report renders without special-casing.
+        resumed = run_campaign(spec, store=store, jobs=1)
+        assert resumed.executed == 0 and resumed.skipped == 2
+        assert resumed.outcomes[0].rows == failed.rows
+        report = deterministic_report(result)
+        assert "FAILED after 1 attempt(s)" in report
+        # The failed *first* replicate must not mislabel the block header:
+        # the surviving replicate's real description wins.
+        assert "E6 (failed) ==" not in report
+        assert ok.description in report
+
+    def test_timeout_disabled_off_main_thread(self, monkeypatch):
+        """A worker thread cannot use SIGALRM; tasks run undeadlined, not failed."""
+        import threading
+
+        results = []
+
+        def in_thread():
+            task = small_spec().expand()[0]
+            results.append(execute_task(task, timeout=30.0))
+
+        worker = threading.Thread(target=in_thread)
+        worker.start()
+        worker.join()
+        (outcome,) = results
+        assert outcome.rows and "status" not in outcome.rows[0]  # really ran
+
+
+class TestProgressStreaming:
+    def test_progress_counts_fresh_and_resumed_tasks(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path / "progress.jsonl")
+        seen = []
+        run_campaign(spec, store=store, jobs=1, progress=seen.append)
+        assert [o.from_store for o in seen] == [False, False]
+        seen.clear()
+        run_campaign(spec, store=store, jobs=1, progress=seen.append)
+        assert [o.from_store for o in seen] == [True, True]
+        assert [o.task_id for o in seen] == [t.task_id for t in spec.expand()]
+
+    def test_cli_progress_streams_to_stderr_only(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["E6", "--seeds", "2", "--progress"]) == 0
+        captured = capsys.readouterr()
+        lines = [line for line in captured.err.splitlines() if line.startswith("[")]
+        assert lines[0].startswith("[1/2] E6/r0 (")
+        assert lines[1].startswith("[2/2] E6/r1 (")
+        assert "[1/2]" not in captured.out  # stdout report stays clean
+
+    def test_cli_without_progress_is_silent(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["E6", "--seeds", "2"]) == 0
+        assert "[1/2]" not in capsys.readouterr().err
+
+
 class TestAggregation:
     def test_column_stats(self):
         stats = column_stats([1.0, 3.0, None, True, "text"])
@@ -388,3 +534,89 @@ class TestScenarioCli:
         out = capsys.readouterr().out
         assert "manhattan_grid" in out and "flash_crowd" in out
         assert "static_random" in out
+
+
+class TestPolicyFlagValidation:
+    def test_cli_rejects_bad_timeout_cleanly(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["E6", "--task-timeout", "0"]) == 2
+        assert "task_timeout" in capsys.readouterr().err
+
+    def test_cli_rejects_negative_retries_cleanly(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["E6", "--task-retries", "-3"]) == 2
+        assert "task_retries" in capsys.readouterr().err
+
+
+class TestCampaignExitCodes:
+    def test_cli_exits_nonzero_when_tasks_fail_permanently(self, capsys, monkeypatch):
+        import repro.experiments.suite as suite
+        from repro.experiments.cli import main
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("permanent crash")
+
+        monkeypatch.setattr(suite, "run_experiment", explode)
+        assert main(["E6", "--seeds", "2"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED after 1 attempt(s)" in captured.out
+        assert "2 task(s) failed permanently" in captured.err
+
+    def test_internal_valueerror_keeps_its_traceback(self, monkeypatch):
+        import repro.experiments.cli as cli
+        from repro.experiments.cli import main
+
+        def explode(*args, **kwargs):
+            raise ValueError("internal bug, not bad input")
+
+        # The single-run path binds run_experiment at import time.
+        monkeypatch.setattr(cli, "run_experiment", explode)
+        # Single-run path: the crash must propagate, not exit 2 silently.
+        with pytest.raises(ValueError, match="internal bug"):
+            main(["E6"])
+
+    def test_attempt_finishing_under_budget_survives_late_alarm(self, monkeypatch):
+        """Disarm race: a timeout signal landing after the experiment returned
+        (but before the deadline disarms) must not discard the result."""
+        import repro.campaign.executor as executor
+        from repro.campaign.executor import TaskTimeoutError
+
+        class AlarmInEpilogue:
+            """Deadline whose signal fires in the sliver before disarm."""
+
+            def __init__(self, seconds):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, exc_type, exc, tb):
+                if exc_type is None:  # body completed; simulate the late fire
+                    raise TaskTimeoutError("late alarm")
+
+        monkeypatch.setattr(executor, "_attempt_deadline", AlarmInEpilogue)
+        task = small_spec().expand()[0]
+        outcome = execute_task(task, timeout=300.0)
+        assert outcome.rows and "status" not in outcome.rows[0]  # kept
+        reference = execute_task(task)
+        assert outcome.rows == reference.rows
+        # A timeout *during* the body (result never bound) still fails.
+        import repro.experiments.suite as suite
+
+        def hang_forever(*args, **kwargs):
+            raise TaskTimeoutError("boom")
+
+        monkeypatch.setattr(suite, "run_experiment", hang_forever)
+        failed = execute_task(task, timeout=300.0)
+        assert failed.rows[0]["failure"] == "timeout"
+
+
+class TestTaskCount:
+    def test_task_count_matches_expansion(self):
+        from repro.scenarios import ScenarioSpec
+        for spec in (small_spec(),
+                     small_spec(replicates=5),
+                     small_spec(experiments=("E1", "E6"), replicates=3,
+                                scenarios=(ScenarioSpec.create("static_random", n=8),
+                                           ScenarioSpec.create("static_random", n=10)))):
+            assert spec.task_count() == len(spec.expand())

@@ -199,6 +199,107 @@ class TestGenerationBumping:
         assert network.position_of("a") == (0.0, 0.0)
 
     def test_mobility_step_bumps_generation_once_per_step(self):
+        # A step that moves nodes invalidates exactly once — not once per
+        # node; a step that moves nobody invalidates nothing (see
+        # TestMobilityDeltas.test_static_step_keeps_caches_warm).
+        from repro.mobility.random_walk import RandomWalkMobility
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=UnitDiskRadio(10.0),
+                          mobility=RandomWalkMobility((100.0, 100.0), speed=5.0))
+        network.add_node(Echo("a"), (50, 50))
+        network.add_node(Echo("b"), (55, 50))
+        network.start()
+        before = network.topology_generation
+        sim.run(until=1.5)  # exactly one mobility step
+        assert network.topology_generation == before + 1
+
+
+class TestRadioMutationNotification:
+    """In-place radio mutations must invalidate cached neighbourhoods.
+
+    Before the mutation listeners, ``radio.radio_range = x`` silently served
+    stale topology snapshots (the cache key only sees ``max_range()`` at
+    lookup time, and the link-state cache never re-tests links on its own).
+    The stock radios now notify every listening network from their setters.
+    """
+
+    def test_unit_disk_range_change_refreshes_topology(self):
+        sim, network = build_network({"a": (0, 0), "b": (20, 0)})
+        assert not network.topology().has_edge("a", "b")
+        assert network.neighbors_of("a") == set()
+        network.radio.radio_range = 25.0
+        assert network.topology().has_edge("a", "b")
+        assert network.neighbors_of("a") == {"b"}
+        network.radio.radio_range = 10.0
+        assert network.neighbors_of("a") == set()
+        assert network.broadcast("a", "ping") == 0
+
+    def test_shrinking_nonmaximal_asymmetric_range_refreshes(self):
+        from repro.net.radio import AsymmetricRangeRadio
+        sim = Simulator(seed=0)
+        radio = AsymmetricRangeRadio(default_range=30.0, ranges={"a": 50.0})
+        network = Network(sim, radio=radio)
+        network.add_node(Echo("a"), (0, 0))
+        network.add_node(Echo("b"), (40, 0))
+        # a -> b only (asymmetric): no symmetric edge, but a directed arc.
+        assert network.directed_topology().has_edge("a", "b")
+        # Shrinking a *non-maximal* range leaves max_range() untouched — the
+        # historical stale-cache case.
+        radio.set_range("b", 20.0)
+        assert network.directed_topology().has_edge("a", "b")
+        radio.set_range("a", 35.0)  # still the maximum, max_range changes
+        assert not network.directed_topology().has_edge("a", "b")
+        radio.set_range("a", 45.0)
+        assert network.directed_topology().has_edge("a", "b")
+
+    def test_default_range_assignment_notifies(self):
+        from repro.net.radio import AsymmetricRangeRadio
+        sim = Simulator(seed=0)
+        radio = AsymmetricRangeRadio(default_range=10.0)
+        network = Network(sim, radio=radio)
+        network.add_node(Echo("a"), (0, 0))
+        network.add_node(Echo("b"), (15, 0))
+        assert network.neighbors_of("a") == set()
+        radio.default_range = 20.0
+        assert network.neighbors_of("a") == {"b"}
+
+    def test_probabilistic_inner_range_assignment_notifies(self):
+        from repro.net.radio import ProbabilisticDiskRadio
+        sim = Simulator(seed=0)
+        radio = ProbabilisticDiskRadio(10.0, 30.0, 0.5)
+        network = Network(sim, radio=radio)
+        network.add_node(Echo("a"), (0, 0))
+        network.add_node(Echo("b"), (15, 0))
+        # b sits in the fading band: not a (reliable) topology link.
+        assert network.neighbors_of("a") == set()
+        radio.inner_range = 20.0
+        assert network.neighbors_of("a") == {"b"}
+
+    def test_broadcast_fast_path_sees_mutated_radius(self):
+        sim, network = build_network({"a": (0, 0), "b": (8, 0), "c": (20, 0)})
+        assert network.broadcast("a", "m1") == 1  # warms the link-state cache
+        network.radio.radio_range = 30.0
+        assert network.broadcast("a", "m2") == 2
+        sim.run()
+        assert network.process("c").inbox == [("a", "m2")]
+
+    def test_setter_validation_unchanged(self):
+        from repro.net.radio import AsymmetricRangeRadio, ProbabilisticDiskRadio
+        with pytest.raises(ValueError):
+            UnitDiskRadio(10.0).radio_range = 0.0
+        with pytest.raises(ValueError):
+            AsymmetricRangeRadio(10.0).default_range = -1.0
+        radio = ProbabilisticDiskRadio(10.0, 30.0, 0.5)
+        with pytest.raises(ValueError):
+            radio.inner_range = 40.0  # beyond outer_range
+        with pytest.raises(ValueError):
+            radio.outer_range = 5.0  # below inner_range
+        with pytest.raises(ValueError):
+            radio.band_probability = 1.5
+
+
+class TestMobilityDeltas:
+    def test_static_step_keeps_caches_warm(self):
         from repro.mobility.static import StaticMobility
         sim = Simulator(seed=0)
         network = Network(sim, radio=UnitDiskRadio(10.0), mobility=StaticMobility())
@@ -206,5 +307,132 @@ class TestGenerationBumping:
         network.add_node(Echo("b"), (5, 0))
         network.start()
         before = network.topology_generation
-        sim.run(until=1.5)  # exactly one mobility step
+        sim.run(until=3.5)  # three no-op mobility steps
+        # Nothing moved, so snapshots/receiver caches were never invalidated.
+        assert network.topology_generation == before
+        assert network.neighbors_of("a") == {"b"}
+
+    def test_moving_step_still_bumps(self):
+        from repro.mobility.random_walk import RandomWalkMobility
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=UnitDiskRadio(10.0),
+                          mobility=RandomWalkMobility((100.0, 100.0), speed=5.0))
+        network.add_node(Echo("a"), (50, 50))
+        network.start()
+        before = network.topology_generation
+        sim.run(until=1.5)
+        assert network.topology_generation > before
+
+    def test_moved_nodes_helper_matches_network_comparison(self):
+        from repro.mobility.base import moved_nodes
+        before = {"a": (0.0, 0.0), "b": (1.0, 2.0)}
+        after = {"a": (0, 0), "b": (1.0, 2.5), "c": (9, 9)}
+        assert moved_nodes(before, after) == {"b": (1.0, 2.5), "c": (9.0, 9.0)}
+
+
+class TestMutationListenerLifetime:
+    def test_dead_networks_are_not_kept_alive_by_the_radio(self):
+        import gc
+        import weakref as weakref_module
+        radio = UnitDiskRadio(10.0)
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=radio)
+        network.add_node(Echo("a"), (0, 0))
+        ref = weakref_module.ref(network)
+        del network, sim
+        gc.collect()
+        assert ref() is None  # the listener registration held no strong ref
+        radio.radio_range = 20.0  # notifying with a dead listener is a no-op
+        assert radio.radio_range == 20.0
+
+
+class TestCustomRadioContract:
+    def test_silent_max_range_change_is_auto_detected(self):
+        """Pre-PR contract: a mutation visible through max_range() needs no
+        explicit invalidate_topology(), even on a notification-less radio."""
+        from repro.net.radio import RadioModel
+
+        class PlainRadio(RadioModel):
+            def __init__(self, r):
+                self.r = r  # plain attribute, no setter notification
+
+            def in_vicinity(self, sender, receiver, sender_pos, receiver_pos):
+                from repro.net.geometry import distance
+                return distance(sender_pos, receiver_pos) <= self.r
+
+            def max_range(self):
+                return self.r
+
+            def deterministic_vicinity(self):
+                return True
+
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=PlainRadio(10.0))
+        network.add_node(Echo("a"), (0, 0))
+        network.add_node(Echo("b"), (20, 0))
+        assert network.neighbors_of("a") == set()
+        assert network.broadcast("a", "x") == 0
+        network.radio.r = 30.0  # silent, but visible through max_range()
+        assert network.topology().has_edge("a", "b")
+        assert network.neighbors_of("a") == {"b"}
+        assert network.broadcast("a", "y") == 1
+
+    def test_no_op_set_positions_keeps_caches_warm(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.topology()
+        before = network.topology_generation
+        network.set_positions({"a": (0.0, 0.0), "b": (5.0, 0.0)})  # no change
+        assert network.topology_generation == before
+        network.set_positions({"a": (1.0, 0.0), "b": (5.0, 0.0)})  # one change
         assert network.topology_generation == before + 1
+
+
+class TestVectorizedToggle:
+    def test_disabling_drops_linkstate_maintenance(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.broadcast("a", "x")  # builds the link-state cache
+        assert network._linkstate is not None
+        network.vectorized_delivery = False
+        assert network._linkstate is None  # scan path pays zero maintenance
+        network.set_position("a", (1, 0))  # must not touch a dead cache
+        assert network.neighbors_of("a") == {"b"}
+        network.vectorized_delivery = True
+        assert network.broadcast("a", "y") == 1  # rebuilt on demand
+
+
+class TestInPlaceMobilityModels:
+    def test_model_mutating_its_input_still_updates_the_engine(self):
+        """Models receive a copy: in-place mutation + return keeps working."""
+        from repro.mobility.base import MobilityModel
+
+        class InPlaceShift(MobilityModel):
+            def step(self, positions, dt):
+                for node in list(positions):
+                    x, y = positions[node]
+                    positions[node] = (x + 6.0, y)  # mutate the mapping given
+                return positions
+
+        sim = Simulator(seed=0)
+        network = Network(sim, radio=UnitDiskRadio(10.0), mobility=InPlaceShift())
+        network.add_node(Echo("a"), (0, 0))
+        network.add_node(Echo("b"), (8, 0))
+        assert network.neighbors_of("a") == {"b"}
+        network.start()
+        before = network.topology_generation
+        sim.run(until=1.5)  # one step: both shift +6, distance stays 8
+        assert network.position_of("a") == (6.0, 0.0)
+        assert network.topology_generation > before
+        # Index/link-state followed the move: still neighbours at new spots.
+        assert network.neighbors_of("a") == {"b"}
+        assert network.broadcast("a", "x") == 1
+
+    def test_disabling_spatial_index_also_drops_linkstate(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.broadcast("a", "x")
+        assert network._linkstate is not None
+        network.use_spatial_index = False
+        assert network._linkstate is None
+        network.set_position("a", (1, 0))  # brute baseline: no upkeep
+        assert network.neighbors_of("a") == {"b"}
+        network.use_spatial_index = True
+        assert network.broadcast("a", "y") == 1

@@ -1,10 +1,13 @@
-"""Deterministic replay at scale, with and without the spatial index.
+"""Deterministic replay at scale, across every neighbour/delivery backend.
 
-The spatial index is a pure query optimization: a seeded run must unfold
-*identically* whether neighbour queries go through the grid or through the
-brute-force scan.  These tests run a 500-node mobile GRP deployment twice per
-backend and require bit-identical event counts, message counters, group
-assignments and metric reports across all four runs.
+The spatial index and the vectorized delivery pipeline (link-state receiver
+lists + batched channel decisions + bulk scheduling) are pure query/dispatch
+optimizations: a seeded run must unfold *identically* whether neighbour
+queries go through the grid or the brute-force scan, and whether broadcasts
+take the batched fast path or the per-receiver loop.  These tests run a
+500-node mobile lossy GRP deployment once per backend combination and require
+bit-identical event counts, message counters, group assignments, topology
+edges and metric reports across all of them (plus a same-seed rerun).
 """
 
 import pytest
@@ -17,11 +20,22 @@ N = 500
 DURATION = 3.0
 SEED = 2024
 
+#: (use_spatial_index, vectorized_delivery) backend combinations.  The
+#: vectorized pipeline sits on top of the index, so (False, True) degrades to
+#: the scan path — included to prove the degradation is seamless.
+BACKENDS = {
+    "indexed+vectorized": (True, True),
+    "indexed+scalar": (True, False),
+    "brute+scalar": (False, False),
+    "brute+vectorized-degraded": (False, True),
+}
 
-def run_once(use_spatial_index):
+
+def run_once(use_spatial_index, vectorized_delivery):
     deployment = manet_waypoint(n=N, area=1500.0, radio_range=100.0, dmax=3,
                                 speed=10.0, seed=SEED, loss_probability=0.05)
     deployment.network.use_spatial_index = use_spatial_index
+    deployment.network.vectorized_delivery = vectorized_delivery
     churn = ChurnSchedule([ChurnEvent(time=1.0, node_id=i, active=False) for i in range(25)]
                           + [ChurnEvent(time=2.0, node_id=i, active=True) for i in range(25)])
     churn.install(deployment.network)
@@ -41,19 +55,22 @@ def run_once(use_spatial_index):
 
 @pytest.fixture(scope="module")
 def runs():
-    return {flag: run_once(flag) for flag in (True, False)}
+    return {name: run_once(*flags) for name, flags in BACKENDS.items()}
 
 
-def test_indexed_run_matches_brute_force_run(runs):
-    assert runs[True] == runs[False]
+@pytest.mark.parametrize("backend", [name for name in BACKENDS
+                                     if name != "indexed+vectorized"])
+def test_backends_replay_identically(runs, backend):
+    assert runs["indexed+vectorized"] == runs[backend], (
+        f"seeded 500-node run diverged between indexed+vectorized and {backend}")
 
 
 def test_rerun_with_same_seed_is_identical(runs):
-    assert run_once(True) == runs[True]
+    assert run_once(True, True) == runs["indexed+vectorized"]
 
 
 def test_views_cover_all_active_nodes(runs):
-    views = runs[True]["views"]
+    views = runs["indexed+vectorized"]["views"]
     assert len(views) == N
     for node_id, view in views.items():
         assert node_id in view
