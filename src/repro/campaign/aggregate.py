@@ -102,34 +102,43 @@ def campaign_report(result: CampaignResult) -> str:
     if spec.scenarios:
         cells = " | ".join(scenario.label() for scenario in spec.scenarios)
         header += f"\nscenario axis ({len(spec.scenarios)} cells): {cells}"
+    if spec.traffics:
+        cells = " | ".join(traffic.label() for traffic in spec.traffics)
+        header += f"\ntraffic axis ({len(spec.traffics)} cells): {cells}"
     blocks = [header]
     for experiment in spec.experiments:
         for scenario in spec.scenario_cells():
             label = None if scenario is None else scenario.label()
-            outcomes = result.outcomes_for(experiment, label)
-            if not outcomes:
-                continue
-            # Prefer a successful replicate's description: a failed first
-            # replicate carries the "<EXP> (failed)" placeholder and must not
-            # mislabel a block whose other seeds succeeded.
-            description = next(
-                (o.description for o in outcomes
-                 if not any(row.get("status") == "failed" for row in o.rows)),
-                outcomes[0].description)
-            rows = [row for outcome in outcomes for row in outcome.rows]
-            table = aggregate_rows(rows, group_by=AGGREGATE_KEYS.get(experiment, ()),
-                                   drop=DROP_COLUMNS)
-            cell = "" if label is None else f"scenario {label}, "
-            parts = [f"== {experiment} — {description} == ({cell}{spec.replicates} seeds)"]
-            if table:
-                parts.append(format_table(table))
-            wall = column_stats([outcome.wall_time for outcome in outcomes])
-            if wall is not None:
-                parts.append(f"note: wall time per replicate: "
-                             f"{format_value(wall.mean)} ± {format_value(wall.std)}s")
-            for note in outcomes[0].notes:
-                parts.append(f"note: {note}")
-            blocks.append("\n".join(parts))
+            for traffic in spec.traffic_cells():
+                tlabel = None if traffic is None else traffic.label()
+                outcomes = result.outcomes_for(experiment, label, tlabel)
+                if not outcomes:
+                    continue
+                # Prefer a successful replicate's description: a failed first
+                # replicate carries the "<EXP> (failed)" placeholder and must
+                # not mislabel a block whose other seeds succeeded.
+                description = next(
+                    (o.description for o in outcomes
+                     if not any(row.get("status") == "failed" for row in o.rows)),
+                    outcomes[0].description)
+                rows = [row for outcome in outcomes for row in outcome.rows]
+                table = aggregate_rows(rows,
+                                       group_by=AGGREGATE_KEYS.get(experiment, ()),
+                                       drop=DROP_COLUMNS)
+                cell = "" if label is None else f"scenario {label}, "
+                if tlabel is not None:
+                    cell += f"traffic {tlabel}, "
+                parts = [f"== {experiment} — {description} == "
+                         f"({cell}{spec.replicates} seeds)"]
+                if table:
+                    parts.append(format_table(table))
+                wall = column_stats([outcome.wall_time for outcome in outcomes])
+                if wall is not None:
+                    parts.append(f"note: wall time per replicate: "
+                                 f"{format_value(wall.mean)} ± {format_value(wall.std)}s")
+                for note in outcomes[0].notes:
+                    parts.append(f"note: {note}")
+                blocks.append("\n".join(parts))
     return "\n\n".join(blocks)
 
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.scenarios import ScenarioSpec
+from repro.traffic import TrafficSpec
 
 from .spec import CampaignSpec, CampaignTask
 from .store import ResultStore, TaskRecord
@@ -65,6 +66,10 @@ class TaskOutcome:
     from_store: bool = False
     #: ``ScenarioSpec.as_dict()`` of the scenario cell (``None`` = default).
     scenario: Optional[Dict[str, object]] = None
+    #: ``TrafficSpec.as_dict()`` of the traffic cell (``None`` = default).
+    traffic: Optional[Dict[str, object]] = None
+    #: Attempts the task consumed (> 1 means at least one retry fired).
+    attempts: int = 1
 
     @functools.cached_property
     def scenario_label(self) -> Optional[str]:
@@ -77,12 +82,20 @@ class TaskOutcome:
             return None
         return ScenarioSpec.from_dict(self.scenario).label()
 
+    @functools.cached_property
+    def traffic_label(self) -> Optional[str]:
+        """The traffic cell's label, or ``None`` on the default cell."""
+        if self.traffic is None:
+            return None
+        return TrafficSpec.from_dict(self.traffic).label()
+
     def to_record(self, spec_hash: str) -> TaskRecord:
         return TaskRecord(
             spec_hash=spec_hash, task_id=self.task_id, experiment=self.experiment,
             replicate=self.replicate, seed=self.seed, quick=self.quick,
             description=self.description, wall_time=self.wall_time,
-            rows=self.rows, notes=self.notes, scenario=self.scenario)
+            rows=self.rows, notes=self.notes, scenario=self.scenario,
+            traffic=self.traffic, attempts=self.attempts)
 
 
 def _outcome_from_record(record: TaskRecord) -> TaskOutcome:
@@ -91,7 +104,8 @@ def _outcome_from_record(record: TaskRecord) -> TaskOutcome:
         replicate=record.replicate, seed=record.seed, quick=record.quick,
         description=record.description, wall_time=record.wall_time,
         rows=record.rows, notes=record.notes, from_store=True,
-        scenario=record.scenario)
+        scenario=record.scenario, traffic=record.traffic,
+        attempts=record.attempts)
 
 
 class _attempt_deadline:
@@ -150,7 +164,9 @@ def _failure_outcome(task: CampaignTask, error: BaseException,
         description=f"{task.experiment} (failed)",
         wall_time=wall_time, rows=[row],
         notes=[f"FAILED after {attempts} attempt(s): {kind}: {error}"],
-        scenario=None if task.scenario is None else task.scenario.as_dict())
+        scenario=None if task.scenario is None else task.scenario.as_dict(),
+        traffic=None if task.traffic is None else task.traffic.as_dict(),
+        attempts=attempts)
 
 
 def execute_task(task: CampaignTask,
@@ -178,7 +194,7 @@ def execute_task(task: CampaignTask,
     start = time.perf_counter()
     attempts = 1 + max(0, retries)
     last_error: Optional[Exception] = None
-    for _ in range(attempts):
+    for attempt in range(1, attempts + 1):
         previous_cap = TraceRecorder.default_max_records
         TraceRecorder.default_max_records = max_trace_records
         result = None
@@ -186,7 +202,8 @@ def execute_task(task: CampaignTask,
             attempt_start = time.perf_counter()
             with _attempt_deadline(timeout):
                 result = run_experiment(task.experiment, quick=task.quick,
-                                        seed=task.seed, scenario=task.scenario)
+                                        seed=task.seed, scenario=task.scenario,
+                                        traffic=task.traffic)
             wall_time = time.perf_counter() - attempt_start
         except Exception as exc:  # noqa: BLE001 - the retry/failure boundary
             # Disarm race: the interval timer can fire in the sliver between
@@ -203,7 +220,9 @@ def execute_task(task: CampaignTask,
             task_id=task.task_id, experiment=task.experiment, replicate=task.replicate,
             seed=task.seed, quick=task.quick, description=result.description,
             wall_time=wall_time, rows=result.rows, notes=result.notes,
-            scenario=None if task.scenario is None else task.scenario.as_dict())
+            scenario=None if task.scenario is None else task.scenario.as_dict(),
+            traffic=None if task.traffic is None else task.traffic.as_dict(),
+            attempts=attempt)
     return _failure_outcome(task, last_error, attempts, time.perf_counter() - start)
 
 
@@ -217,15 +236,18 @@ class CampaignResult:
     skipped: int
 
     def outcomes_for(self, experiment: str,
-                     scenario_label: Optional[str] = None) -> List[TaskOutcome]:
-        """Outcomes of one experiment, optionally restricted to one scenario cell.
+                     scenario_label: Optional[str] = None,
+                     traffic_label: Optional[str] = None) -> List[TaskOutcome]:
+        """Outcomes of one experiment, optionally restricted to one grid cell.
 
-        ``scenario_label`` is the :meth:`repro.scenarios.ScenarioSpec.label`
-        of the cell; ``None`` matches the default (scenario-less) cell only.
+        ``scenario_label`` / ``traffic_label`` are the ``label()`` values of
+        the cells; ``None`` matches the respective default (axis-less) cell
+        only.
         """
         return [o for o in self.outcomes
                 if o.experiment == experiment.upper()
-                and o.scenario_label == scenario_label]
+                and o.scenario_label == scenario_label
+                and o.traffic_label == traffic_label]
 
 
 def run_campaign(spec: CampaignSpec,

@@ -1,22 +1,27 @@
 """Declarative campaign specifications.
 
-A *campaign* is a grid of {experiment cell x scenario cell x seed replicate}
-expanded into independent tasks.  Each experiment identifier (``"E1"`` ...
-``"E10"``) names one measurement of the reproduction suite; the optional
-scenario axis re-runs it across registered workloads
+A *campaign* is a grid of {experiment cell x scenario cell x traffic cell x
+seed replicate} expanded into independent tasks.  Each experiment identifier
+(``"E1"`` ... ``"E11"``) names one measurement of the reproduction suite; the
+optional scenario axis re-runs it across registered workloads
 (:class:`repro.scenarios.ScenarioSpec` entries, e.g. a ``--sweep`` over node
-count or speed), and the replicate dimension derives one deterministic seed
-per task from the campaign's root seed (via the same SHA-256 stream
-derivation the simulator uses, see :func:`repro.sim.randomness.derive_seed`).
+count or speed), the optional traffic axis re-runs it across registered
+application workloads (:class:`repro.traffic.TrafficSpec` entries), and the
+replicate dimension derives one deterministic seed per task from the
+campaign's root seed (via the same SHA-256 stream derivation the simulator
+uses, see :func:`repro.sim.randomness.derive_seed`).
 
 Determinism contract: ``CampaignSpec.expand()`` always yields the same task
 list — same identifiers, same seeds, same order — for the same spec fields,
 regardless of how (or on how many workers) the tasks later execute.  The
-canonical spec hash (:meth:`CampaignSpec.spec_hash`) covers the scenario axis
-too and namespaces the result store, so records of one campaign never satisfy
-the resume check of another.  Per-task seeds mix the scenario's canonical
-JSON into the derivation, so two scenario cells of the same experiment never
-share a seed sequence.
+canonical spec hash (:meth:`CampaignSpec.spec_hash`) covers the scenario and
+traffic axes too and namespaces the result store, so records of one campaign
+never satisfy the resume check of another.  Per-task seeds mix the scenario's
+canonical JSON — and, separately prefixed, the traffic cell's — into the
+derivation, so no two cells of the same experiment ever share a seed
+sequence, and a traffic cell can never impersonate a scenario cell in the
+stream name (the ``traffic=`` prefix cannot be produced by a scenario's
+canonical JSON, which always starts with ``{``).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.scenarios import ScenarioSpec, normalize_spec
 from repro.sim.randomness import derive_seed
+from repro.traffic import TrafficSpec, normalize_traffic_spec
 
 __all__ = ["CampaignTask", "CampaignSpec"]
 
@@ -42,6 +48,7 @@ class CampaignTask:
     seed: int
     quick: bool
     scenario: Optional[ScenarioSpec] = None
+    traffic: Optional[TrafficSpec] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict form (JSON-serializable)."""
@@ -52,6 +59,7 @@ class CampaignTask:
             "seed": self.seed,
             "quick": self.quick,
             "scenario": None if self.scenario is None else self.scenario.as_dict(),
+            "traffic": None if self.traffic is None else self.traffic.as_dict(),
         }
 
 
@@ -82,6 +90,12 @@ class CampaignSpec:
         their ``as_dict`` forms).  Empty means "no scenario axis": each
         experiment builds its own default workload, task ids and seeds stay
         exactly as in scenario-less campaigns.
+    traffics:
+        Traffic-axis cells (:class:`repro.traffic.TrafficSpec` entries or
+        their ``as_dict`` forms): every {experiment x scenario} cell runs
+        once per entry.  Empty means "no traffic axis": traffic-aware
+        experiments use their default workload, and task ids, seeds and the
+        spec hash stay exactly as in traffic-less campaigns.
     task_timeout:
         Wall-clock budget (seconds) per task *attempt*; an attempt past the
         budget is aborted and counts as a failure.  ``None`` (default) never
@@ -101,6 +115,7 @@ class CampaignSpec:
     scenarios: Tuple[ScenarioSpec, ...] = field(default=())
     task_timeout: Optional[float] = None
     task_retries: int = 0
+    traffics: Tuple[TrafficSpec, ...] = field(default=())
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "experiments",
@@ -128,6 +143,16 @@ class CampaignSpec:
         if len(set(labels)) != len(labels):
             duplicates = sorted({lab for lab in labels if labels.count(lab) > 1})
             raise ValueError(f"duplicate scenario cell(s): {duplicates}")
+        traffics = tuple(
+            normalize_traffic_spec(spec if isinstance(spec, TrafficSpec)
+                                   else TrafficSpec.from_dict(spec))
+            for spec in self.traffics)
+        object.__setattr__(self, "traffics", traffics)
+        traffic_labels = [spec.label() for spec in traffics]
+        if len(set(traffic_labels)) != len(traffic_labels):
+            duplicates = sorted({lab for lab in traffic_labels
+                                 if traffic_labels.count(lab) > 1})
+            raise ValueError(f"duplicate traffic cell(s): {duplicates}")
 
     # ----------------------------------------------------------- identity
 
@@ -156,6 +181,10 @@ class CampaignSpec:
             data["task_timeout"] = self.task_timeout
         if self.task_retries:
             data["task_retries"] = self.task_retries
+        # Like the scenario axis: omitted when empty, so traffic-less
+        # campaigns keep their pre-axis spec hash and stores keep resuming.
+        if self.traffics:
+            data["traffics"] = [spec.as_dict() for spec in self.traffics]
         return data
 
     def spec_hash(self) -> str:
@@ -169,43 +198,61 @@ class CampaignSpec:
         """The scenario axis: the declared cells, or a single default cell."""
         return self.scenarios if self.scenarios else (None,)
 
+    def traffic_cells(self) -> Tuple[Optional[TrafficSpec], ...]:
+        """The traffic axis: the declared cells, or a single default cell."""
+        return self.traffics if self.traffics else (None,)
+
     def task_count(self) -> int:
         """Number of tasks :meth:`expand` yields, without deriving any seeds.
 
         Cheap arithmetic (progress denominators and the like should not pay
         one SHA-256 per task just to learn the grid size).
         """
-        return len(self.experiments) * len(self.scenario_cells()) * self.replicates
+        return (len(self.experiments) * len(self.scenario_cells())
+                * len(self.traffic_cells()) * self.replicates)
 
     def task_seed(self, experiment: str, replicate: int,
-                  scenario: Optional[ScenarioSpec] = None) -> int:
-        """Deterministic seed of the (experiment, scenario, replicate) task.
+                  scenario: Optional[ScenarioSpec] = None,
+                  traffic: Optional[TrafficSpec] = None) -> int:
+        """Deterministic seed of the (experiment, scenario, traffic, replicate) task.
 
-        Scenario-less derivation is unchanged from pre-scenario campaigns, so
-        adding the axis never silently re-seeds existing grids.  With a
-        scenario the canonical JSON joins the stream name: distinct parameter
-        values get statistically independent seed streams.
+        Axis-less derivation is unchanged from pre-axis campaigns, so adding
+        either axis never silently re-seeds existing grids.  With a scenario
+        the cell's canonical JSON joins the stream name; a traffic cell joins
+        as a ``traffic=``-prefixed segment.  The prefix keeps the two axes
+        collision-free by construction: a scenario's canonical JSON always
+        starts with ``{``, so no scenario segment can ever read
+        ``traffic=...`` — two cells of different kinds (or a cell and a
+        cell-pair) never share a seed stream even when the underlying specs
+        render identically (see ``tests/test_traffic.py``).
         """
-        if scenario is None:
-            return derive_seed(self.root_seed, f"campaign/{experiment}/rep{replicate}")
-        return derive_seed(
-            self.root_seed,
-            f"campaign/{experiment}/{scenario.canonical_json()}/rep{replicate}")
+        name = f"campaign/{experiment}"
+        if scenario is not None:
+            name += f"/{scenario.canonical_json()}"
+        if traffic is not None:
+            name += f"/traffic={traffic.canonical_json()}"
+        return derive_seed(self.root_seed, f"{name}/rep{replicate}")
 
     def expand(self) -> List[CampaignTask]:
         """Expand the grid into independent tasks, in canonical order."""
         tasks: List[CampaignTask] = []
         for experiment in self.experiments:
             for scenario in self.scenario_cells():
-                prefix = (experiment if scenario is None
-                          else f"{experiment}/{scenario.label()}")
-                for replicate in range(self.replicates):
-                    tasks.append(CampaignTask(
-                        task_id=f"{prefix}/r{replicate}",
-                        experiment=experiment,
-                        replicate=replicate,
-                        seed=self.task_seed(experiment, replicate, scenario),
-                        quick=self.quick,
-                        scenario=scenario,
-                    ))
+                for traffic in self.traffic_cells():
+                    prefix = experiment
+                    if scenario is not None:
+                        prefix += f"/{scenario.label()}"
+                    if traffic is not None:
+                        prefix += f"/{traffic.label()}"
+                    for replicate in range(self.replicates):
+                        tasks.append(CampaignTask(
+                            task_id=f"{prefix}/r{replicate}",
+                            experiment=experiment,
+                            replicate=replicate,
+                            seed=self.task_seed(experiment, replicate, scenario,
+                                                traffic),
+                            quick=self.quick,
+                            scenario=scenario,
+                            traffic=traffic,
+                        ))
         return tasks

@@ -11,10 +11,13 @@ One line per completed task.  Record schema (all keys always present)::
       "quick":      bool,
       "scenario":   null | {"name": str, "params": {...}},  # scenario cell
                            # (optional on load: absent in pre-axis stores)
+      "traffic":    null | {"name": str, "params": {...}},  # traffic cell
+                           # (optional on load: absent in pre-axis stores)
       "description": str,  # experiment description (for report headers)
       "wall_time":  float, # seconds spent executing the task
       "rows":       [ {column: value, ...}, ... ],   # metric rows
-      "notes":      [ str, ... ]
+      "notes":      [ str, ... ],
+      "attempts":   int    # attempts the task consumed (optional, default 1)
     }
 
 Append-only semantics make the store crash-safe: a run killed mid-task loses
@@ -62,6 +65,12 @@ class TaskRecord:
     #: ``ScenarioSpec.as_dict()`` of the task's scenario cell, or ``None`` for
     #: the default-workload cell (scenario-less campaigns).
     scenario: Optional[Dict[str, object]] = None
+    #: ``TrafficSpec.as_dict()`` of the task's traffic cell, or ``None`` for
+    #: the default cell (traffic-less campaigns).
+    traffic: Optional[Dict[str, object]] = None
+    #: How many attempts the task consumed (1 = first attempt succeeded);
+    #: the CLI's final campaign summary counts retried tasks from it.
+    attempts: int = 1
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -108,10 +117,12 @@ class ResultStore:
                     continue
                 if spec_hash is not None and data["spec_hash"] != spec_hash:
                     continue
-                # "scenario" is optional so stores written before the scenario
-                # axis existed keep loading (their records default to the
-                # scenario-less cell).
+                # "scenario", "traffic" and "attempts" are optional so stores
+                # written before those fields existed keep loading (their
+                # records default to the axis-less cell / a single attempt).
                 records.append(TaskRecord(scenario=data.get("scenario"),
+                                          traffic=data.get("traffic"),
+                                          attempts=int(data.get("attempts", 1)),
                                           **{k: data[k] for k in self.REQUIRED_KEYS}))
         return records
 

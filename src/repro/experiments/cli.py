@@ -24,8 +24,9 @@ List the registered scenarios, then sweep one of them as a workload grid::
 Campaign mode
 -------------
 ``--seeds N`` (N > 1), ``--jobs K`` (K > 1), ``--store PATH``, ``--sweep``,
-``--progress``, ``--task-timeout`` or ``--task-retries`` switch the CLI from
-the single-run path to the campaign orchestrator (:mod:`repro.campaign`).
+``--traffic-sweep``, ``--progress``, ``--task-timeout`` or ``--task-retries``
+switch the CLI from the single-run path to the campaign orchestrator
+(:mod:`repro.campaign`).
 Without any of them the CLI behaves exactly as before — one process, one seed
 per experiment, byte-identical report output.
 
@@ -45,6 +46,19 @@ Values are validated and coerced against the scenario's declared schema
 before anything runs; tuple-valued parameters use ``+`` separators
 (``--set group_sizes=4+4+3``).  In single-run mode ``--scenario`` (with
 optional ``--set``) simply overrides the workload of the one run.
+
+*Traffic axis.*  ``--traffic NAME`` selects a registered application
+workload generator (:mod:`repro.traffic`, see ``--list-traffic``) injected by
+traffic-aware experiments (E11); ``--traffic-set`` / ``--traffic-sweep``
+mirror ``--set`` / ``--sweep`` against the traffic schema.  Traffic cells are
+a campaign grid axis exactly like scenario cells: they appear in task ids,
+the spec hash and the per-task seed derivation, and the report renders one
+block per {experiment x scenario x traffic} cell.  Campaigns without traffic
+flags keep their pre-axis task ids, seeds and hashes.
+
+After a campaign, one final summary line goes to stderr —
+``campaign summary: N tasks (X executed, Y resumed, F failed, R retried)`` —
+so scripts see failure/retry counts without parsing the report.
 
 *Spec format.*  The selected experiments, the scenario cells, the replicate
 count (``--seeds``), the root seed (``--seed``, default 0) and the workload
@@ -133,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "product and imply campaign mode).")
     parser.add_argument("--list-scenarios", action="store_true",
                         help="List registered scenarios with their parameter schemas.")
+    parser.add_argument("--traffic", type=str, default=None,
+                        help="Registered application-traffic pattern injected by "
+                             "traffic-aware experiments (see --list-traffic).")
+    parser.add_argument("--traffic-set", dest="traffic_set_params", action="append",
+                        default=[], metavar="PARAM=VALUE",
+                        help="Pin one traffic parameter (repeatable; requires "
+                             "--traffic).")
+    parser.add_argument("--traffic-sweep", dest="traffic_sweep_params", action="append",
+                        default=[], metavar="PARAM=V1,V2,...",
+                        help="Sweep one traffic parameter as a grid axis (repeatable; "
+                             "requires --traffic; implies campaign mode).")
+    parser.add_argument("--list-traffic", action="store_true",
+                        help="List registered traffic patterns with their parameter "
+                             "schemas.")
     return parser
 
 
@@ -143,31 +171,27 @@ def _split_assignment(text: str, flag: str) -> Tuple[str, str]:
     return key, value
 
 
-def _scenario_variants(args: argparse.Namespace) -> Optional[List["object"]]:
-    """Expand --scenario/--set/--sweep into the list of scenario cells.
+def _expand_variants(kind: str, definition, spec_factory, name: str,
+                     set_params: List[str], sweep_params: List[str],
+                     set_flag: str, sweep_flag: str) -> List["object"]:
+    """Expand --*-set/--*-sweep assignments into validated grid cells.
 
-    Returns ``None`` when no scenario was selected.  Every cell is validated
-    against the registry schema here, so a typo'd parameter fails before any
-    simulation runs.
+    Shared by the scenario and traffic axes: pins coerce against the
+    definition's schema, sweeps form their cartesian product in flag order,
+    every cell fully validates (so a typo'd parameter fails before any
+    simulation runs) and duplicate cells are rejected.
     """
-    from repro.scenarios import ScenarioSpec, get_scenario
-
-    if args.scenario is None:
-        if args.set_params or args.sweep_params:
-            raise ValueError("--set/--sweep require --scenario")
-        return None
-    definition = get_scenario(args.scenario)
     base = {}
-    for assignment in args.set_params:
-        key, value = _split_assignment(assignment, "--set")
+    for assignment in set_params:
+        key, value = _split_assignment(assignment, set_flag)
         base[key] = definition.parameter(key).coerce(value)
-    variants = [ScenarioSpec.create(args.scenario, **base)]
-    for sweep in args.sweep_params:
-        key, value = _split_assignment(sweep, "--sweep")
+    variants = [spec_factory(name, **base)]
+    for sweep in sweep_params:
+        key, value = _split_assignment(sweep, sweep_flag)
         parameter = definition.parameter(key)
         points = [parameter.coerce(v) for v in value.split(",") if v]
         if not points:
-            raise ValueError(f"--sweep {key} needs at least one value")
+            raise ValueError(f"{sweep_flag} {key} needs at least one value")
         variants = [variant.with_params(**{key: point})
                     for variant in variants for point in points]
     for variant in variants:
@@ -175,22 +199,57 @@ def _scenario_variants(args: argparse.Namespace) -> Optional[List["object"]]:
     labels = [variant.label() for variant in variants]
     if len(set(labels)) != len(labels):
         duplicates = sorted({label for label in labels if labels.count(label) > 1})
-        raise ValueError(f"duplicate scenario cell(s) from --sweep: {duplicates}")
+        raise ValueError(f"duplicate {kind} cell(s) from {sweep_flag}: {duplicates}")
     return variants
 
 
+def _scenario_variants(args: argparse.Namespace) -> Optional[List["object"]]:
+    """Expand --scenario/--set/--sweep into the list of scenario cells.
+
+    Returns ``None`` when no scenario was selected.
+    """
+    from repro.scenarios import ScenarioSpec, get_scenario
+
+    if args.scenario is None:
+        if args.set_params or args.sweep_params:
+            raise ValueError("--set/--sweep require --scenario")
+        return None
+    return _expand_variants("scenario", get_scenario(args.scenario),
+                            ScenarioSpec.create, args.scenario,
+                            args.set_params, args.sweep_params, "--set", "--sweep")
+
+
+def _traffic_variants(args: argparse.Namespace) -> Optional[List["object"]]:
+    """Expand --traffic/--traffic-set/--traffic-sweep into traffic cells.
+
+    Returns ``None`` when no traffic was selected.
+    """
+    from repro.traffic import TrafficSpec, get_traffic
+
+    if args.traffic is None:
+        if args.traffic_set_params or args.traffic_sweep_params:
+            raise ValueError("--traffic-set/--traffic-sweep require --traffic")
+        return None
+    return _expand_variants("traffic", get_traffic(args.traffic),
+                            TrafficSpec.create, args.traffic,
+                            args.traffic_set_params, args.traffic_sweep_params,
+                            "--traffic-set", "--traffic-sweep")
+
+
 def _run(experiment_ids: List[str], quick: bool, seed: Optional[int],
-         scenario=None) -> List[ExperimentResult]:
+         scenario=None, traffic=None) -> List[ExperimentResult]:
     results = []
     for experiment_id in experiment_ids:
         start = time.time()
-        result = run_experiment(experiment_id, quick=quick, seed=seed, scenario=scenario)
+        result = run_experiment(experiment_id, quick=quick, seed=seed,
+                                scenario=scenario, traffic=traffic)
         result.add_note(f"wall time: {time.time() - start:.1f}s")
         results.append(result)
     return results
 
 
-def _campaign_spec(experiment_ids: List[str], args: argparse.Namespace, scenarios):
+def _campaign_spec(experiment_ids: List[str], args: argparse.Namespace, scenarios,
+                   traffics):
     """Build the campaign spec (raises ValueError on invalid policy flags)."""
     from repro.campaign import CampaignSpec
 
@@ -203,6 +262,7 @@ def _campaign_spec(experiment_ids: List[str], args: argparse.Namespace, scenario
         scenarios=tuple(scenarios) if scenarios else (),
         task_timeout=args.task_timeout,
         task_retries=args.task_retries,
+        traffics=tuple(traffics) if traffics else (),
     )
 
 
@@ -225,6 +285,14 @@ def _run_campaign(spec, args: argparse.Namespace) -> Tuple[str, int]:
     result = run_campaign(spec, store=store, jobs=max(1, args.jobs), progress=progress)
     failed = sum(1 for outcome in result.outcomes
                  if any(row.get("status") == "failed" for row in outcome.rows))
+    retried = sum(1 for outcome in result.outcomes if outcome.attempts > 1)
+    # The per-task --progress stream only says how far the campaign got; the
+    # final summary says how it went — failure and retry counts included —
+    # on stderr, so the stdout report stays byte-identical.
+    print(f"campaign summary: {len(result.outcomes)} tasks "
+          f"({result.executed} executed, {result.skipped} resumed, "
+          f"{failed} failed, {retried} retried)",
+          file=sys.stderr, flush=True)
     return campaign_report(result), failed
 
 
@@ -240,17 +308,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.scenarios import format_catalog
         print(format_catalog())
         return 0
+    if args.list_traffic:
+        from repro.traffic import format_traffic_catalog
+        print(format_traffic_catalog())
+        return 0
     if args.experiment.lower() == "all":
         experiment_ids = sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
     else:
         experiment_ids = [args.experiment]
     try:
         scenarios = _scenario_variants(args)
+        traffics = _traffic_variants(args)
     except (KeyError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     campaign_mode = (args.seeds > 1 or args.jobs > 1 or args.store is not None
-                     or bool(args.sweep_params) or args.progress
+                     or bool(args.sweep_params) or bool(args.traffic_sweep_params)
+                     or args.progress
                      or args.task_timeout is not None or args.task_retries != 0)
     failed_tasks = 0
     try:
@@ -259,15 +333,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 # Spec construction validates the policy flags; only *its*
                 # ValueError is a bad-input exit — errors raised later, deep
                 # inside experiments, must keep their tracebacks.
-                spec = _campaign_spec(experiment_ids, args, scenarios)
+                spec = _campaign_spec(experiment_ids, args, scenarios, traffics)
             except ValueError as exc:
                 print(str(exc), file=sys.stderr)
                 return 2
             report, failed_tasks = _run_campaign(spec, args)
         else:
             scenario = scenarios[0] if scenarios else None
+            traffic = traffics[0] if traffics else None
             results = _run(experiment_ids, quick=not args.full, seed=args.seed,
-                           scenario=scenario)
+                           scenario=scenario, traffic=traffic)
             report = "\n\n".join(result.to_text() for result in results)
     except KeyError as exc:
         print(str(exc), file=sys.stderr)

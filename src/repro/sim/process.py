@@ -32,6 +32,11 @@ class Process:
         self.network: Optional["Network"] = None
         self._active = True
         self._started = False
+        #: Application-message hook (set by the traffic layer): payloads that
+        #: carry the ``is_app_payload`` marker are routed here instead of
+        #: :meth:`on_message`, so application traffic shares the node and the
+        #: delivery pipeline with the protocol without touching its handlers.
+        self.app_handler: Optional[Any] = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -87,9 +92,20 @@ class Process:
     # ------------------------------------------------------------- transport
 
     def deliver(self, sender: Any, payload: Any) -> None:
-        """Entry point used by the network; ignores messages while inactive."""
+        """Entry point used by the network; ignores messages while inactive.
+
+        Payloads flagged ``is_app_payload`` (application traffic, see
+        :mod:`repro.traffic`) go to :attr:`app_handler` when one is
+        installed; without one they fall through to :meth:`on_message` like
+        any other payload (protocol processes ignore foreign payload types).
+        The no-handler hot path pays a single attribute test.
+        """
         if self._active:
-            self.on_message(sender, payload)
+            handler = self.app_handler
+            if handler is not None and getattr(payload, "is_app_payload", False):
+                handler(sender, payload)
+            else:
+                self.on_message(sender, payload)
 
     def broadcast(self, payload: Any) -> int:
         """Broadcast ``payload`` to the current vicinity; returns receiver count."""

@@ -206,6 +206,7 @@ class TestFailurePolicy:
         row = outcome.rows[0]
         assert row["status"] == "failed" and row["failure"] == "RuntimeError"
         assert row["attempts"] == 3 and "synthetic crash" in row["error"]
+        assert outcome.attempts == 3
         assert outcome.task_id == task.task_id and outcome.seed == task.seed
 
     def test_retry_recovers_from_transient_crash(self, monkeypatch):
@@ -228,6 +229,10 @@ class TestFailurePolicy:
         # attempt restarts from the task's derived seed.
         assert outcome.rows == reference.rows
         assert outcome.notes == reference.notes
+        # The retry is visible in the attempt count (the CLI's final summary
+        # line reports such tasks as retried) without perturbing the rows.
+        assert outcome.attempts == 2
+        assert reference.attempts == 1
 
     def test_timeout_aborts_attempt(self, monkeypatch):
         import time as time_module

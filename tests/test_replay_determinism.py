@@ -8,6 +8,12 @@ take the batched fast path or the per-receiver loop.  These tests run a
 500-node mobile lossy GRP deployment once per backend combination and require
 bit-identical event counts, message counters, group assignments, topology
 edges and metric reports across all of them (plus a same-seed rerun).
+
+The traffic-laden variant layers an application workload
+(:mod:`repro.traffic`) on top of a smaller deployment: application sends,
+replies and relays interleave with protocol messages on the same event queue
+and the same channel RNG stream, so any backend divergence — in either the
+protocol or the traffic subsystem — shows up as a ledger or counter mismatch.
 """
 
 import pytest
@@ -15,6 +21,7 @@ import pytest
 from repro.experiments.scenarios import manet_waypoint
 from repro.metrics.overhead import overhead_summary
 from repro.mobility.churn import ChurnEvent, ChurnSchedule
+from repro.traffic import TrafficSpec, attach_traffic
 
 N = 500
 DURATION = 3.0
@@ -74,3 +81,64 @@ def test_views_cover_all_active_nodes(runs):
     assert len(views) == N
     for node_id, view in views.items():
         assert node_id in view
+
+
+# ------------------------------------------------------- with traffic on top
+
+TRAFFIC_N = 200
+#: Long enough for groups to form so that request/reply round trips happen
+#: (requests are only recorded once the sender's view exceeds itself).
+TRAFFIC_DURATION = 8.0
+
+
+def run_traffic_once(use_spatial_index, vectorized_delivery):
+    deployment = manet_waypoint(n=TRAFFIC_N, area=900.0, radio_range=100.0, dmax=3,
+                                speed=10.0, seed=SEED, loss_probability=0.05)
+    deployment.network.use_spatial_index = use_spatial_index
+    deployment.network.vectorized_delivery = vectorized_delivery
+    driver = attach_traffic(
+        deployment, TrafficSpec.create("request_reply", interval=1.0), seed=SEED)
+    churn = ChurnSchedule([ChurnEvent(time=1.0, node_id=i, active=False)
+                           for i in range(10)]
+                          + [ChurnEvent(time=2.0, node_id=i, active=True)
+                             for i in range(10)])
+    churn.install(deployment.network)
+    deployment.run(TRAFFIC_DURATION)
+    network = deployment.network
+    ledger = driver.ledger
+    return {
+        "processed_events": deployment.sim.processed_events,
+        "sent": network.messages_sent,
+        "delivered": network.messages_delivered,
+        "dropped": network.messages_dropped,
+        "views": deployment.views(),
+        "app_sent": ledger.messages_sent,
+        "app_receptions": ledger.receptions,
+        "requests": ledger.requests_sent,
+        "replies": ledger.replies_matched,
+        "group_rows": ledger.group_rows(),
+        "totals": ledger.totals(TRAFFIC_DURATION),
+    }
+
+
+@pytest.fixture(scope="module")
+def traffic_runs():
+    return {name: run_traffic_once(*flags) for name, flags in BACKENDS.items()}
+
+
+@pytest.mark.parametrize("backend", [name for name in BACKENDS
+                                     if name != "indexed+vectorized"])
+def test_traffic_backends_replay_identically(traffic_runs, backend):
+    assert traffic_runs["indexed+vectorized"] == traffic_runs[backend], (
+        f"seeded traffic run diverged between indexed+vectorized and {backend}")
+
+
+def test_traffic_rerun_with_same_seed_is_identical(traffic_runs):
+    assert run_traffic_once(True, True) == traffic_runs["indexed+vectorized"]
+
+
+def test_traffic_actually_flowed(traffic_runs):
+    reference = traffic_runs["indexed+vectorized"]
+    assert reference["app_sent"] > 0
+    assert reference["app_receptions"] > 0
+    assert reference["replies"] > 0

@@ -97,9 +97,9 @@ class TestRunner:
 
 
 class TestSuiteAndCli:
-    def test_registry_contains_ten_experiments(self):
-        assert len(ALL_EXPERIMENTS) == 10
-        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 11)}
+    def test_registry_contains_eleven_experiments(self):
+        assert len(ALL_EXPERIMENTS) == 11
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 12)}
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

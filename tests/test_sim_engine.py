@@ -104,6 +104,101 @@ class TestScheduling:
         assert simulator.pending_events == 0
 
 
+class TestScheduleMany:
+    """Edge cases of the bulk-insertion path (heapify-amortized batches)."""
+
+    def test_empty_batch_is_a_noop(self, simulator):
+        handles = simulator.schedule_many([], lambda: None, [])
+        assert handles == []
+        assert simulator.pending_events == 0
+        assert simulator.run() == 0
+
+    def test_single_event_batch(self, simulator):
+        fired = []
+        [handle] = simulator.schedule_many([0.5], fired.append, [(1,)])
+        assert handle.time == 0.5
+        simulator.run()
+        assert fired == [1]
+        assert simulator.pending_events == 0
+
+    def test_mismatched_lengths_raise(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule_many([0.1, 0.2], lambda: None, [()])
+
+    def test_negative_delay_rejected_before_any_insertion(self, simulator):
+        with pytest.raises(SimulationError):
+            simulator.schedule_many([0.1, -0.2, 0.3], lambda x: None,
+                                    [(1,), (2,), (3,)])
+        # All-or-nothing: the valid prefix must not have been inserted.
+        assert simulator.pending_events == 0
+        assert simulator.run() == 0
+
+    def test_batch_matches_individual_schedules_exactly(self):
+        """Same times, seqs and execution order as a loop of schedule calls."""
+        def run(bulk):
+            sim = Simulator(seed=1)
+            order = []
+            sim.schedule(0.2, order.append, "pre")
+            delays = [0.3, 0.1, 0.3, 0.0]
+            args = [("a",), ("b",), ("c",), ("d",)]
+            if bulk:
+                sim.schedule_many(delays, order.append, args)
+            else:
+                for delay, arg in zip(delays, args):
+                    sim.schedule(delay, order.append, *arg)
+            sim.schedule(0.1, order.append, "post")
+            sim.run()
+            return order
+
+        assert run(bulk=True) == run(bulk=False) == ["d", "b", "post", "pre", "a", "c"]
+
+    def test_cancel_individual_batch_members(self, simulator):
+        fired = []
+        handles = simulator.schedule_many([0.1, 0.2, 0.3], fired.append,
+                                          [(1,), (2,), (3,)])
+        handles[1].cancel()
+        assert simulator.pending_events == 2
+        simulator.run()
+        assert fired == [1, 3]
+        # Cancelling after execution must not corrupt the pending counter.
+        handles[0].cancel()
+        assert simulator.pending_events == 0
+
+    def test_cancel_from_inside_an_earlier_batch_event(self, simulator):
+        fired = []
+        handles = simulator.schedule_many(
+            [0.1, 0.2], lambda tag: fired.append(tag), [("first",), ("second",)])
+
+        simulator.schedule(0.15, handles[1].cancel)
+        simulator.run()
+        assert fired == ["first"]
+        assert simulator.pending_events == 0
+
+    def test_interleaves_with_periodic_handles(self, simulator):
+        """Batched events and call_every ticks share one (time, seq) order."""
+        order = []
+        periodic = simulator.call_every(1.0, lambda: order.append(("tick", simulator.now)))
+        simulator.schedule_many([0.5, 1.5, 2.5], order.append,
+                                [(("batch", 0.5),), (("batch", 1.5),), (("batch", 2.5),)])
+        simulator.run(until=2.0)
+        periodic.cancel()
+        simulator.run()
+        assert order == [("batch", 0.5), ("tick", 1.0), ("batch", 1.5),
+                         ("tick", 2.0), ("batch", 2.5)]
+        assert simulator.pending_events == 0
+
+    def test_large_batch_triggers_heapify_path(self, simulator):
+        """A batch large relative to the heap takes the extend+heapify branch."""
+        fired = []
+        simulator.schedule(5.0, fired.append, "tail")
+        delays = [0.001 * i for i in range(500, 0, -1)]
+        simulator.schedule_many(delays, fired.append, [(i,) for i in range(500)])
+        simulator.run()
+        # Reverse-sorted delays must come back in time order.
+        assert fired[:-1] == list(range(499, -1, -1))
+        assert fired[-1] == "tail"
+
+
 class TestPeriodicScheduling:
     def test_call_every_fires_repeatedly(self, simulator):
         ticks = []
