@@ -132,13 +132,23 @@ class _attempt_deadline:
                 raise TaskTimeoutError(
                     f"task attempt exceeded {self.seconds}s wall-clock budget")
             self._previous = signal.signal(signal.SIGALRM, _expired)
-            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            try:
+                signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            except BaseException:
+                signal.signal(signal.SIGALRM, self._previous)
+                raise
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # try/finally on both steps: the timer can expire inside this very
+        # method (raising TaskTimeoutError out of the disarm sequence), and
+        # neither a leaked armed timer nor a leaked handler may survive into
+        # the next attempt's retry accounting.
         if self.seconds is not None:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, self._previous)
+            try:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+            finally:
+                signal.signal(signal.SIGALRM, self._previous)
 
 
 def _failure_outcome(task: CampaignTask, error: BaseException,

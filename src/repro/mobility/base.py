@@ -10,15 +10,19 @@ node — so nodes may join or leave at any time.
 
 Delta notification contract
 ---------------------------
-The network maintains its spatial index and incremental link-state cache by
+The network maintains its spatial index, array store and link-state caches by
 *diffing* each step's result against the current positions: a node whose
-returned position equals its current one costs nothing downstream.  Models
-therefore signal "this node did not move" simply by echoing the input
-position unchanged (pass the same tuple through, as the stock models do for
-paused waypoint nodes and for :class:`~repro.mobility.static.StaticMobility`)
-rather than recomputing a float that might differ in the last ulp — the
-cheapest possible delta notification, and one that cannot desynchronize.
-:func:`moved_nodes` implements the same comparison for tests and tooling.
+returned position equals its current one costs nothing downstream.  With the
+array backend the whole step lands as one bulk comparison-and-masked-write
+into the contiguous position array (``Network._apply_position_updates``);
+the scalar fallback compares per node.  Either way, models signal "this node
+did not move" simply by echoing the input position unchanged (pass the same
+tuple through, as the stock models do for paused waypoint nodes and for
+:class:`~repro.mobility.static.StaticMobility`) rather than recomputing a
+float that might differ in the last ulp — the cheapest possible delta
+notification, and one that cannot desynchronize.  :func:`moved_nodes`
+implements the same comparison for tests and tooling (the network itself no
+longer calls it; the bulk write subsumes it).
 """
 
 from __future__ import annotations

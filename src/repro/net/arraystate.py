@@ -1,0 +1,488 @@
+"""Array-native simulation state: SoA node store + CSR link-state.
+
+The object-per-node core caps the simulator at toy sizes: positions live in a
+``node -> tuple`` dict, link-state in per-node dicts patched one python
+operation at a time, and every broadcast materializes fresh python lists.
+This module provides the structure-of-arrays backend behind the existing
+:class:`repro.net.network.Network` APIs:
+
+* :class:`NodeArrayStore` — one contiguous ``N x 2`` float64 position array
+  plus parallel per-row arrays (insertion order, activity mask, node ids and
+  process objects), with a ``node id <-> row`` map.  Rows are recycled by
+  swap-with-last on removal, so the arrays stay dense; mobility steps and
+  ``Network.set_positions`` become one masked array write.
+* :class:`ArrayLinkState` — the symmetric link set of a uniform-link-radius
+  radio stored as int32 CSR adjacency (``indptr`` / ``indices`` row arrays),
+  rebuilt wholesale by a fully vectorized cell-binning pass whenever the
+  position array changed.  Receiver lists, topology snapshots and
+  ``neighbors_of`` queries are served from array slices; the indices arena is
+  reused across rebuilds so steady-state mobility allocates nothing new.
+
+Exactness story (the ``math.hypot`` contract)
+---------------------------------------------
+Every scalar path in this repository compares ``math.hypot(dx, dy) <= r``
+(inclusive).  Vectorized distance evaluation is *not* bit-identical to that
+predicate: element-wise ``np.hypot`` may differ from libm by one ulp on this
+platform (measured: ~0.6% of random inputs), and the cheaper squared-distance
+comparison ``dx*dx + dy*dy <= r*r`` carries a few ulps of rounding of its
+own.  Either error can only flip the inclusive comparison when the distance
+lies within a few ulps of ``r``, so the vectorized filter accepts/rejects
+outright outside a guard band of relative width ``~1e-12`` around ``r*r``
+(four orders of magnitude wider than the worst rounding error) and re-checks
+the rare band candidates with ``math.hypot`` itself, on the identical
+``dx``/``dy`` float values the scalar paths subtract.  The result is
+*provably* the scalar predicate — the regression tests in
+``tests/test_arraystate.py`` pin coincident points, exactly-at-range
+placements and cell-edge positions, and the 500-node replay matrix holds the
+backend to bit-identical runs.
+
+Determinism
+-----------
+CSR adjacency rows are sorted by node *insertion order* (the same
+``Network._order`` counter every scan path sorts by), so receiver lists and
+snapshot edge insertion orders are identical to the dict-based
+:class:`~repro.net.linkstate.LinkStateCache` and to the brute-force scans —
+stochastic channels consume their RNG streams identically whichever backend
+produced the candidate list.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["NodeArrayStore", "ArrayLinkState", "HYPOT_GUARD_BAND"]
+
+#: Relative half-width of the re-check band around the link radius.  One ulp
+#: of ``r`` is ``~2.2e-16 * r``; the band is ~10'000x wider, so a vectorized
+#: ``np.hypot`` that is within a few ulps of libm can never misclassify a
+#: candidate outside it.
+HYPOT_GUARD_BAND = 1e-12
+
+_INITIAL_CAPACITY = 64
+
+
+class NodeArrayStore:
+    """Structure-of-arrays mirror of the network's node table.
+
+    One row per node; rows are dense (``[0, n)``).  Removal swaps the last
+    row into the vacated slot, so row indices are *not* stable across
+    removals — consumers must translate through :attr:`row_of` per query (or
+    rebuild, as :class:`ArrayLinkState` does).  Insertion order, the
+    determinism anchor of every scan path, lives in the :attr:`order` array,
+    not in row position.
+    """
+
+    __slots__ = ("xy", "order", "active", "ids", "procs", "row_of", "n")
+
+    def __init__(self) -> None:
+        cap = _INITIAL_CAPACITY
+        #: positions, row-aligned (only ``[:n]`` is meaningful)
+        self.xy = np.empty((cap, 2), dtype=np.float64)
+        #: insertion-order stamps (``Network._order`` values)
+        self.order = np.empty(cap, dtype=np.int64)
+        #: activity mask, kept in sync by ``Network.notify_activation_change``
+        self.active = np.empty(cap, dtype=bool)
+        #: node identifiers (object array for O(1) row -> id gathers)
+        self.ids = np.empty(cap, dtype=object)
+        #: process objects, row-aligned (delivery loops gather these)
+        self.procs = np.empty(cap, dtype=object)
+        self.row_of: Dict[Hashable, int] = {}
+        self.n = 0
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self.row_of
+
+    def _grow(self) -> None:
+        cap = max(_INITIAL_CAPACITY, 2 * self.xy.shape[0])
+        for name in ("xy", "order", "active", "ids", "procs"):
+            old = getattr(self, name)
+            shape = (cap,) + old.shape[1:]
+            new = np.empty(shape, dtype=old.dtype)
+            new[: self.n] = old[: self.n]
+            setattr(self, name, new)
+
+    def insert(self, node: Hashable, pos: Tuple[float, float], order: int,
+               proc: object, active: bool) -> int:
+        """Append a row for ``node``; returns the row index."""
+        if node in self.row_of:
+            raise ValueError(f"node {node!r} already stored")
+        if self.n == self.xy.shape[0]:
+            self._grow()
+        row = self.n
+        self.xy[row, 0] = pos[0]
+        self.xy[row, 1] = pos[1]
+        self.order[row] = order
+        self.active[row] = active
+        self.ids[row] = node
+        self.procs[row] = proc
+        self.row_of[node] = row
+        self.n += 1
+        return row
+
+    def remove(self, node: Hashable) -> None:
+        """Drop ``node``'s row, swapping the last row into its place."""
+        row = self.row_of.pop(node)
+        last = self.n - 1
+        if row != last:
+            self.xy[row] = self.xy[last]
+            self.order[row] = self.order[last]
+            self.active[row] = self.active[last]
+            moved = self.ids[last]
+            self.ids[row] = moved
+            self.procs[row] = self.procs[last]
+            self.row_of[moved] = row
+        # Release object references so removed processes can be collected.
+        self.ids[last] = None
+        self.procs[last] = None
+        self.n = last
+
+    def update(self, node: Hashable, pos: Tuple[float, float]) -> None:
+        """Write one node's position (scalar move)."""
+        row = self.row_of[node]
+        self.xy[row, 0] = pos[0]
+        self.xy[row, 1] = pos[1]
+
+    def write_rows(self, rows: np.ndarray, coords: np.ndarray) -> None:
+        """Masked bulk position write: ``xy[rows] = coords`` in one operation."""
+        self.xy[rows] = coords
+
+    def set_active(self, node: Hashable, active: bool) -> None:
+        row = self.row_of.get(node)
+        if row is not None:
+            self.active[row] = active
+
+    def position_of(self, node: Hashable) -> Tuple[float, float]:
+        row = self.row_of[node]
+        return (float(self.xy[row, 0]), float(self.xy[row, 1]))
+
+
+class ArrayLinkState:
+    """Symmetric uniform-radius link set as CSR adjacency over array rows.
+
+    Valid only for radios exposing a single inclusive link radius
+    (:meth:`repro.net.radio.RadioModel.uniform_link_radius`), for which the
+    link relation is symmetric and a pure distance threshold — the regime of
+    every stock scenario.  Non-uniform radios keep the dict-based incremental
+    cache.
+
+    The CSR arrays are rebuilt lazily (first query after any position /
+    membership delta) by one vectorized pass; between topology changes every
+    query is an array slice.  Unlike the dict cache there is no per-delta
+    patching: at high mobility a wholesale vectorized rebuild is cheaper than
+    python-level per-mover patching, and at low mobility the dirty flag makes
+    idle steps free.
+
+    Query results mirror :class:`~repro.net.linkstate.LinkStateCache`
+    bit-for-bit: same link membership (guard-banded squared-distance filter,
+    see module docstring), same insertion-order sorting of adjacency.
+    """
+
+    def __init__(self, radius: float, store: NodeArrayStore):
+        self.radius = float(radius)
+        self.store = store
+        self._dirty = True
+        #: row count the current CSR was built for (guards stale row maps)
+        self._built_n = 0
+        # Reusable arenas: grown geometrically, never shrunk, so steady-state
+        # rebuilds write into the same buffers instead of reallocating.
+        self._indptr = np.zeros(1, dtype=np.int64)
+        self._indices = np.empty(0, dtype=np.int32)
+        self._m = 0  # arcs currently stored in the arena
+        # Activity-filtered receiver view (token-stamped): parallel id/proc
+        # arrays holding only arcs into *active* rows, so per-sender receiver
+        # batches are plain slices.  Rebuilt once per token (the network
+        # passes its topology generation, which bumps on every activation /
+        # position / membership change).
+        self._active_token: object = None
+        self._recv_indptr: List[int] = [0]
+        self._recv_ids = np.empty(0, dtype=object)
+        self._recv_procs = np.empty(0, dtype=object)
+
+    # ------------------------------------------------------------------ deltas
+
+    def mark_dirty(self) -> None:
+        """Positions / membership changed; rebuild on the next query."""
+        self._dirty = True
+
+    # ----------------------------------------------------------------- rebuild
+
+    def _candidate_pairs(self, xy: np.ndarray,
+                         r: float) -> Tuple[np.ndarray, np.ndarray]:
+        """All row pairs (i, j) that could be within ``r``, each exactly once.
+
+        Classic cell-list harvest, fully vectorized: bin rows into cells of
+        side ``r`` (k = 1 ring), emit same-cell pairs via rank offsets and
+        cross-cell pairs via the four forward neighbour offsets, using
+        ragged-range ``repeat``/``cumsum`` arithmetic — no python loop over
+        cells or nodes.
+        """
+        n = xy.shape[0]
+        empty = np.empty(0, dtype=np.int64)
+        if n < 2:
+            return empty, empty
+        cells = np.floor(xy / r).astype(np.int64)
+        cx, cy = cells[:, 0], cells[:, 1]
+        # Linearize with a padded column span so +-1 offsets in y never wrap
+        # into a neighbouring x column.
+        ymin = cy.min()
+        span = int(cy.max() - ymin) + 3
+        cid = (cx - cx.min() + 1) * span + (cy - ymin + 1)
+        sort = np.argsort(cid, kind="stable")
+        cid_s = cid[sort]
+        # Bucket boundaries over the sorted cell ids.
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        np.not_equal(cid_s[1:], cid_s[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        ucells = cid_s[starts]
+        counts = np.diff(np.append(starts, n))
+        # bucket index and in-bucket rank of every sorted slot
+        bucket_of = np.cumsum(boundary) - 1
+        rank = np.arange(n, dtype=np.int64) - starts[bucket_of]
+
+        slots = np.arange(n, dtype=np.int64)
+        # One ragged emission for all five range sources per slot (own-bucket
+        # tail + four forward neighbour cells): gathering the (lo, length)
+        # pairs first and expanding them in a single repeat/cumsum pass keeps
+        # the number of full-size numpy dispatches constant instead of
+        # per-offset.  The four forward offsets cover every adjacent-cell
+        # pair exactly once (k = 1 since cell side == r).
+        src_parts = [slots]
+        lo_parts = [slots + 1]
+        len_parts = [starts[bucket_of] + counts[bucket_of] - slots - 1]
+        last = len(ucells) - 1
+        for dx, dy in ((0, 1), (1, -1), (1, 0), (1, 1)):
+            target = cid_s + dx * span + dy
+            pos_c = np.minimum(np.searchsorted(ucells, target), last)
+            hit = ucells[pos_c] == target
+            src_parts.append(slots)
+            lo_parts.append(np.where(hit, starts[pos_c], 0))
+            len_parts.append(np.where(hit, counts[pos_c], 0))
+        src_slots = np.concatenate(src_parts)
+        lo = np.concatenate(lo_parts)
+        lengths = np.concatenate(len_parts)
+        keep = lengths > 0
+        src_slots, lo, lengths = src_slots[keep], lo[keep], lengths[keep]
+        total = int(lengths.sum())
+        if not total:
+            return empty, empty
+        first = np.zeros(len(lengths), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=first[1:])
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(first, lengths)
+        slot_i = np.repeat(src_slots, lengths)
+        slot_j = lo.repeat(lengths) + offsets
+        return sort[slot_i], sort[slot_j]
+
+    def _filter_within(self, xy: np.ndarray, rows_i: np.ndarray,
+                       rows_j: np.ndarray, r: float) -> np.ndarray:
+        """Boolean mask: ``math.hypot(dx, dy) <= r``, computed vectorized.
+
+        The bulk decision uses squared distances (``dx*dx + dy*dy`` vs
+        ``r*r`` — cheaper than ``np.hypot`` and within a few ulps of exact);
+        candidates inside the guard band around ``r*r`` (almost always none)
+        are re-checked with ``math.hypot`` itself.  ``dx``/``dy`` are the
+        identical float subtractions the scalar paths feed ``math.hypot``,
+        so the mask equals the scalar predicate bit-for-bit.
+        """
+        x = np.ascontiguousarray(xy[:, 0])
+        y = np.ascontiguousarray(xy[:, 1])
+        dx = x[rows_i] - x[rows_j]
+        dy = y[rows_i] - y[rows_j]
+        sq = dx * dx
+        sq += dy * dy
+        rsq = r * r
+        keep = sq <= rsq
+        # Doubled relative band: squared-space errors are at most twice the
+        # relative size of distance-space ones.
+        tol = rsq * (2.0 * HYPOT_GUARD_BAND)
+        band = np.flatnonzero(np.abs(sq - rsq) <= tol)
+        if band.size:
+            hypot = math.hypot
+            for k in band.tolist():
+                keep[k] = hypot(dx[k], dy[k]) <= r
+        return keep
+
+    def _rebuild(self) -> None:
+        store = self.store
+        n = store.n
+        r = self.radius
+        xy = store.xy[:n]
+        rows_i, rows_j = self._candidate_pairs(xy, r)
+        if rows_i.size:
+            keep = self._filter_within(xy, rows_i, rows_j, r)
+            rows_i, rows_j = rows_i[keep], rows_j[keep]
+        m = 2 * rows_i.size
+        if self._indices.shape[0] < m:
+            self._indices = np.empty(max(m, 2 * self._indices.shape[0]),
+                                     dtype=np.int32)
+        if self._indptr.shape[0] < n + 1:
+            self._indptr = np.zeros(max(n + 1, 2 * self._indptr.shape[0]),
+                                    dtype=np.int64)
+        if m:
+            src = np.concatenate([rows_i, rows_j])
+            dst = np.concatenate([rows_j, rows_i])
+            # Group by source row, receivers sorted by insertion order — the
+            # exact sequence every scan path visits.  One fused sort key
+            # (src-major, insertion-order-minor) replaces a two-pass lexsort;
+            # keys are unique per arc, so the unstable sort is deterministic.
+            order = store.order[:n]
+            key = src * (int(order.max()) + 1) + order[dst]
+            perm = np.argsort(key)
+            self._indices[:m] = dst[perm]
+            counts = np.bincount(src, minlength=n)
+        else:
+            counts = np.zeros(n, dtype=np.int64)
+        self._indptr[0] = 0
+        np.cumsum(counts, out=self._indptr[1:n + 1])
+        self._m = m
+        self._built_n = n
+        self._dirty = False
+
+    def _ensure(self) -> None:
+        if self._dirty or self._built_n != self.store.n:
+            self._rebuild()
+
+    # ----------------------------------------------------------------- queries
+
+    def out_rows(self, node: Hashable) -> np.ndarray:
+        """Link-partner rows of ``node``, sorted by insertion order (a view)."""
+        self._ensure()
+        row = self.store.row_of[node]
+        indptr = self._indptr
+        return self._indices[indptr[row]:indptr[row + 1]]
+
+    def out_neighbors_sorted(self, node: Hashable) -> List[Hashable]:
+        """Link partners of ``node`` as ids, in insertion order."""
+        rows = self.out_rows(node)
+        if not rows.size:
+            return []
+        return self.store.ids[rows].tolist()
+
+    def _refresh_active(self, token: object) -> None:
+        """One-shot build of the activity-filtered receiver arrays.
+
+        Filters the whole CSR against the activity mask in a single pass and
+        gathers ids / process objects for every kept arc, so per-sender
+        receiver batches become plain slices.  ``token`` is the caller's
+        change counter (the network's topology generation): it bumps on every
+        activation, position or membership delta, so a matching token proves
+        the filtered view is current.
+        """
+        self._ensure()
+        n = self._built_n
+        m = self._m
+        idx = self._indices[:m]
+        keep = self.store.active[idx]
+        kept = idx[keep]
+        # Per-source kept counts via a prefix sum over the keep mask — robust
+        # to empty adjacency rows (unlike ``reduceat``).
+        csum = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(keep, out=csum[1:])
+        # Kept as a python list: per-sender slicing with python ints is
+        # measurably faster than with numpy scalars.
+        self._recv_indptr = csum[self._indptr[:n + 1]].tolist()
+        self._recv_ids = self.store.ids[kept]
+        self._recv_procs = self.store.procs[kept]
+        self._active_token = token
+
+    def active_receivers(self, node: Hashable,
+                         token: object) -> Tuple[List[Hashable], np.ndarray]:
+        """(ids, process object array) of the *active* link partners.
+
+        This is the broadcast receiver batch, insertion-ordered.  The first
+        query per ``token`` filters the whole adjacency in one vectorized
+        pass; every later query is two array slices.  The processes come back
+        as an object ndarray so channel decision masks can gather the
+        accepted subset in one indexing operation.
+        """
+        if (token != self._active_token or self._dirty
+                or self._built_n != self.store.n):
+            self._refresh_active(token)
+        row = self.store.row_of[node]
+        indptr = self._recv_indptr
+        lo = indptr[row]
+        hi = indptr[row + 1]
+        return self._recv_ids[lo:hi].tolist(), self._recv_procs[lo:hi]
+
+    def out_neighbors(self, node: Hashable) -> List[Hashable]:
+        """Link partners of ``node`` (dict-cache API mirror)."""
+        return self.out_neighbors_sorted(node)
+
+    def in_neighbors(self, node: Hashable) -> List[Hashable]:
+        """Nodes with a link into ``node`` — the out-partners (symmetric links)."""
+        return self.out_neighbors_sorted(node)
+
+    def has_arc(self, u: Hashable, v: Hashable) -> bool:
+        """Whether the (symmetric) link ``u -> v`` currently exists."""
+        self._ensure()
+        row_u = self.store.row_of.get(u)
+        row_v = self.store.row_of.get(v)
+        if row_u is None or row_v is None:
+            return False
+        indptr = self._indptr
+        return bool((self._indices[indptr[row_u]:indptr[row_u + 1]] == row_v).any())
+
+    def symmetric_neighbors(self, node: Hashable) -> List[Hashable]:
+        """Alias of :meth:`out_neighbors_sorted` (uniform links are symmetric)."""
+        return self.out_neighbors_sorted(node)
+
+    def symmetric_edges(self, active_rows: np.ndarray) -> List[Tuple[Hashable, Hashable]]:
+        """Symmetric edges over ``active_rows``, in canonical snapshot order.
+
+        Returns ``(u, v)`` id tuples with ``order[u] < order[v]``, sorted by
+        ``(order[u], order[v])`` — the exact edge insertion sequence of the
+        scan-based snapshot builds, produced without touching per-node dicts.
+        """
+        self._ensure()
+        n = self._built_n
+        m = self._m
+        if not m:
+            return []
+        store = self.store
+        src = np.repeat(np.arange(n, dtype=np.int64),
+                        np.diff(self._indptr[:n + 1]))
+        dst = self._indices[:m].astype(np.int64, copy=False)
+        order = store.order[:n]
+        keep = (order[src] < order[dst]) & active_rows[src] & active_rows[dst]
+        src, dst = src[keep], dst[keep]
+        perm = np.lexsort((order[dst], order[src]))
+        src, dst = src[perm], dst[perm]
+        return list(zip(store.ids[src].tolist(), store.ids[dst].tolist()))
+
+    def directed_arcs(self, active_rows: np.ndarray) -> List[Tuple[Hashable, Hashable]]:
+        """Directed arcs over ``active_rows``, sorted by (order[u], order[v])."""
+        self._ensure()
+        n = self._built_n
+        m = self._m
+        if not m:
+            return []
+        store = self.store
+        src = np.repeat(np.arange(n, dtype=np.int64),
+                        np.diff(self._indptr[:n + 1]))
+        dst = self._indices[:m].astype(np.int64, copy=False)
+        keep = active_rows[src] & active_rows[dst]
+        src, dst = src[keep], dst[keep]
+        order = store.order[:n]
+        perm = np.lexsort((order[dst], order[src]))
+        src, dst = src[perm], dst[perm]
+        return list(zip(store.ids[src].tolist(), store.ids[dst].tolist()))
+
+    def arcs(self) -> Iterator[Tuple[Hashable, Hashable]]:
+        """Every directed link, grouped by source row (test/debug helper)."""
+        self._ensure()
+        store = self.store
+        indptr = self._indptr
+        for row in range(self._built_n):
+            u = store.ids[row]
+            for v_row in self._indices[indptr[row]:indptr[row + 1]].tolist():
+                yield (u, store.ids[v_row])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"ArrayLinkState(radius={self.radius}, nodes={self.store.n}, "
+                f"arcs={self._m}, dirty={self._dirty})")

@@ -48,7 +48,6 @@ class ChannelDecision:
     reason: str = "ok"
 
 
-@dataclass(frozen=True)
 class BatchDecisions:
     """Outcome of one transmission towards a whole receiver batch.
 
@@ -60,15 +59,44 @@ class BatchDecisions:
     channels with other reasons (collisions) provide one string per
     receiver.  Consumers needing trace-exact reasons substitute the default
     pattern when ``reasons`` is ``None``.
+
+    Two optional hints let array-native consumers skip the per-entry python
+    loop; both are conservative (their defaults merely decline the fast
+    path, never change semantics): ``zero_delay`` is ``True`` only when
+    every delay is ``0.0``, and ``delivered_array`` — when not ``None`` —
+    is the boolean numpy mask the ``delivered`` list was materialized from,
+    ready for a masked gather over a parallel receiver array.
+
+    A plain ``__slots__`` class, not a dataclass: one instance is built per
+    broadcast, and frozen-dataclass construction alone costs more than the
+    RNG draw it wraps.
     """
 
-    delivered: Sequence[bool]
-    delays: Sequence[float]
-    reasons: Optional[List[str]] = None
+    __slots__ = ("delivered", "delays", "reasons", "zero_delay",
+                 "delivered_array", "n_accepted")
+
+    def __init__(self, delivered: Sequence[bool], delays: Sequence[float],
+                 reasons: Optional[List[str]] = None, zero_delay: bool = False,
+                 delivered_array: Optional[np.ndarray] = None,
+                 n_accepted: Optional[int] = None):
+        self.delivered = delivered
+        self.delays = delays
+        self.reasons = reasons
+        self.zero_delay = zero_delay
+        self.delivered_array = delivered_array
+        #: accepted count, filled in by constructors that already know it
+        #: (every stock channel does) so consumers skip the re-count.
+        self.n_accepted = n_accepted
 
     def accepted(self) -> int:
         """Number of delivered receivers."""
-        return sum(self.delivered)
+        if self.n_accepted is None:
+            self.n_accepted = sum(self.delivered)
+        return self.n_accepted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"BatchDecisions(accepted={self.accepted()}/"
+                f"{len(self.delivered)}, zero_delay={self.zero_delay})")
 
 
 class ChannelModel:
@@ -99,7 +127,24 @@ class ChannelModel:
             reasons.append(decision.reason)
             drops += not decision.delivered
         return BatchDecisions(delivered=delivered, delays=delays,
-                              reasons=reasons if drops else None)
+                              reasons=reasons if drops else None,
+                              n_accepted=len(delivered) - drops)
+
+    def decide_batch_fast(self, sender: Hashable, receivers: Sequence[Hashable],
+                          time: float) -> Optional[Tuple[Optional[np.ndarray], int]]:
+        """All-zero-delay batch decision without the :class:`BatchDecisions` box.
+
+        The network's hottest dispatch loop (no trace, no delays) probes this
+        first.  A channel may answer ``(mask, accepted)`` — ``mask`` a boolean
+        numpy array over ``receivers`` (or ``None`` for "all delivered"),
+        ``accepted`` its true count — **only** when every delay the scalar
+        loop would produce is ``0.0`` and the RNG consumption and drop/deliver
+        counters advance exactly as :meth:`decide_batch` would.  Returning
+        ``None`` declines: the caller then invokes :meth:`decide_batch`, so a
+        declining implementation must not have consumed any randomness.  The
+        default declines for every channel that does not opt in.
+        """
+        return None
 
 
 class PerfectChannel(ChannelModel):
@@ -111,6 +156,9 @@ class PerfectChannel(ChannelModel):
         # The decision is identical for every transmission; sharing one frozen
         # instance keeps the per-receiver broadcast cost allocation-free.
         self._decision = ChannelDecision(delivered=True, delay=float(delay))
+        # Subclass-override check hoisted out of the per-broadcast hot path;
+        # type(self) is settled by construction time.
+        self._vector_ok = type(self).decide is PerfectChannel.decide
 
     @property
     def delay(self) -> float:
@@ -121,13 +169,19 @@ class PerfectChannel(ChannelModel):
         return self._decision
 
     def decide_batch(self, sender, receivers, time) -> BatchDecisions:
-        if type(self).decide is not PerfectChannel.decide:
+        if not self._vector_ok:
             # A subclass overriding only decide() gets the scalar reference
             # loop, keeping the batched and per-receiver paths bit-identical.
             return super().decide_batch(sender, receivers, time)
         n = len(receivers)
         delay = self._decision.delay
-        return BatchDecisions(delivered=[True] * n, delays=[delay] * n)
+        return BatchDecisions(delivered=[True] * n, delays=[delay] * n,
+                              zero_delay=delay == 0.0, n_accepted=n)
+
+    def decide_batch_fast(self, sender, receivers, time):
+        if not self._vector_ok or self._decision.delay != 0.0:
+            return None
+        return None, len(receivers)
 
 
 class LossyChannel(ChannelModel):
@@ -155,6 +209,12 @@ class LossyChannel(ChannelModel):
         self._rng = rng if rng is not None else np.random.default_rng()
         self.dropped = 0
         self.delivered = 0
+        # Subclass-override check hoisted out of the per-broadcast hot path:
+        # the vectorized core hardcodes the stock draw pattern, so any class
+        # overriding a scalar hook must take the scalar reference loop.
+        # CollisionChannel re-derives the flag against its own decide.
+        self._vector_ok = (type(self).decide is LossyChannel.decide
+                           and type(self)._draw_delay is LossyChannel._draw_delay)
 
     def set_rng(self, rng: np.random.Generator) -> None:
         """Inject the random stream used for loss and delay draws."""
@@ -188,15 +248,19 @@ class LossyChannel(ChannelModel):
         if p > 0 and variable_delay:
             return None
         if n == 0:
-            return BatchDecisions(delivered=[], delays=[])
+            return BatchDecisions(delivered=[], delays=[], zero_delay=True,
+                                  n_accepted=0)
         if p <= 0:
             self.delivered += n
             if variable_delay:
                 delays = self._rng.uniform(self.min_delay, self.max_delay, n).tolist()
             else:
                 delays = [self.min_delay] * n
-            return BatchDecisions(delivered=[True] * n, delays=delays)
-        delivered = (self._rng.random(n) >= p).tolist()
+            return BatchDecisions(delivered=[True] * n, delays=delays,
+                                  zero_delay=not variable_delay
+                                  and self.min_delay == 0.0, n_accepted=n)
+        mask = self._rng.random(n) >= p
+        delivered = mask.tolist()
         accepted = sum(delivered)
         self.delivered += accepted
         self.dropped += n - accepted
@@ -206,20 +270,39 @@ class LossyChannel(ChannelModel):
         else:
             delays = [constant if kept else 0.0 for kept in delivered]
         # reasons=None: loss drops are exactly the default "ok"/"loss" pattern.
-        return BatchDecisions(delivered=delivered, delays=delays)
+        return BatchDecisions(delivered=delivered, delays=delays,
+                              zero_delay=constant == 0.0, delivered_array=mask,
+                              n_accepted=accepted)
 
     def decide_batch(self, sender, receivers, time) -> BatchDecisions:
         # A subclass overriding any scalar hook (decide or _draw_delay) must
-        # stay the single source of truth on both pipelines: the vectorized
-        # core hardcodes the stock draw pattern, so fall back to the scalar
-        # reference loop.
-        if (type(self).decide is not LossyChannel.decide
-                or type(self)._draw_delay is not LossyChannel._draw_delay):
+        # stay the single source of truth on both pipelines — _vector_ok,
+        # settled at construction, falls back to the scalar reference loop.
+        if not self._vector_ok:
             return super().decide_batch(sender, receivers, time)
         batch = self._lossy_batch(len(receivers))
         if batch is None:
             return super().decide_batch(sender, receivers, time)
         return batch
+
+    def decide_batch_fast(self, sender, receivers, time):
+        # Only the all-zero-delay configurations qualify; everything else
+        # declines *before* touching the RNG so decide_batch can take over.
+        if (not self._vector_ok or self.min_delay != 0.0
+                or self.max_delay != 0.0):
+            return None
+        n = len(receivers)
+        p = self.loss_probability
+        if p <= 0:
+            self.delivered += n
+            return None, n
+        if n == 0:
+            return None, 0
+        mask = self._rng.random(n) >= p
+        accepted = int(np.count_nonzero(mask))
+        self.delivered += accepted
+        self.dropped += n - accepted
+        return mask, accepted
 
 
 class CollisionChannel(LossyChannel):
@@ -242,6 +325,8 @@ class CollisionChannel(LossyChannel):
         self.collisions = 0
         # receiver -> (sender, time of the last transmission heard)
         self._last_heard: Dict[Hashable, Tuple[Hashable, float]] = {}
+        self._vector_ok = (type(self).decide is CollisionChannel.decide
+                           and type(self)._draw_delay is LossyChannel._draw_delay)
 
     def decide(self, sender, receiver, time) -> ChannelDecision:
         last = self._last_heard.get(receiver)
@@ -259,8 +344,7 @@ class CollisionChannel(LossyChannel):
         # reference loop *before* any collision state is touched:
         # re-deciding a receiver after its ``_last_heard`` update would no
         # longer collide.
-        if (type(self).decide is not CollisionChannel.decide
-                or type(self)._draw_delay is not LossyChannel._draw_delay
+        if (not self._vector_ok
                 or (self.loss_probability > 0 and self.max_delay != self.min_delay)):
             return ChannelModel.decide_batch(self, sender, receivers, time)
         n = len(receivers)
@@ -291,4 +375,11 @@ class CollisionChannel(LossyChannel):
             reasons[i] = (sub.reasons[j] if sub.reasons is not None
                           else ("ok" if sub.delivered[j] else "loss"))
             j += 1
-        return BatchDecisions(delivered=delivered, delays=delays, reasons=reasons)
+        return BatchDecisions(delivered=delivered, delays=delays, reasons=reasons,
+                              n_accepted=sub.accepted())
+
+    def decide_batch_fast(self, sender, receivers, time):
+        # Collision bookkeeping (the _last_heard table) lives in decide_batch;
+        # declining keeps that single implementation authoritative.  No state
+        # is touched here, as the fast-hook contract requires.
+        return None

@@ -41,12 +41,23 @@ def distances_from(origin: Sequence[float],
 
 
 def pairwise_distances(positions: Mapping[Hashable, Sequence[float]]) -> Dict[Tuple, float]:
-    """All pairwise distances; keys are unordered node pairs stored as sorted tuples."""
+    """All pairwise distances; keys are unordered node pairs stored as sorted tuples.
+
+    Pair keys put the smaller node id first under the ids' own ordering, so
+    ``(2, 10)`` is the key for nodes 2 and 10 (a ``repr``-based ordering would
+    flip it, since ``"10" < "2"`` lexicographically).  Ids that do not support
+    ``<`` against each other fall back to ``repr`` ordering — the keys are
+    then still canonical, just not numerically sorted.
+    """
     nodes = list(positions)
     out: Dict[Tuple, float] = {}
     for i, u in enumerate(nodes):
         for v in nodes[i + 1:]:
-            key = (u, v) if repr(u) <= repr(v) else (v, u)
+            try:
+                swap = v < u
+            except TypeError:
+                swap = repr(v) < repr(u)
+            key = (v, u) if swap else (u, v)
             out[key] = distance(positions[u], positions[v])
     return out
 

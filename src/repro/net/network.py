@@ -58,11 +58,13 @@ import itertools
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 from repro.sim.trace import TraceRecorder
 
+from .arraystate import ArrayLinkState, NodeArrayStore
 from .channel import ChannelModel, PerfectChannel
 from .geometry import Point
 from .linkstate import LinkStateCache
@@ -100,6 +102,14 @@ class Network:
         original per-receiver scan, e.g. to benchmark or to cross-check the
         pipeline; seeded runs are bit-identical either way.  Requires the
         spatial index (it degrades to the scan path otherwise).
+    array_state:
+        Keep node state mirrored in contiguous numpy arrays
+        (:class:`~repro.net.arraystate.NodeArrayStore`) and serve the
+        vectorized pipeline from the CSR
+        :class:`~repro.net.arraystate.ArrayLinkState` whenever the radio has a
+        uniform link radius (default).  Disable to force the dict-based
+        incremental cache, e.g. to benchmark or to cross-check the array
+        backend; seeded runs are bit-identical either way.
     """
 
     def __init__(self, sim: Simulator, radio: RadioModel,
@@ -107,15 +117,19 @@ class Network:
                  mobility: Optional[Any] = None,
                  trace: Optional[TraceRecorder] = None,
                  use_spatial_index: bool = True,
-                 vectorized_delivery: bool = True):
+                 vectorized_delivery: bool = True,
+                 array_state: bool = True):
         self.sim = sim
         self.radio = radio
         self.channel = channel if channel is not None else PerfectChannel()
         self.mobility = mobility
         self.trace = trace
         self._linkstate: Optional[LinkStateCache] = None
+        self._store: Optional[NodeArrayStore] = None
+        self._array_ls: Optional[ArrayLinkState] = None
         self.use_spatial_index = bool(use_spatial_index)
         self.vectorized_delivery = bool(vectorized_delivery)
+        self.array_state = bool(array_state)
         self._processes: Dict[Hashable, Process] = {}
         self._positions: Dict[Hashable, Point] = {}
         self._order: Dict[Hashable, int] = {}
@@ -123,21 +137,31 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: True while every attached process uses the stock ``deliver``;
+        #: unlocks direct ``on_message`` dispatch in the batched loop.  Only
+        #: ever cleared (a conservative latch: removing the one overriding
+        #: process doesn't re-arm the fast path).
+        self._stock_deliver = True
         self._mobility_handle = None
         self._position_listeners: List[Callable[[float, Dict[Hashable, Point]], None]] = []
         self._index: Optional[UniformGridIndex] = None
-        #: sender -> (generation, linkstate, active sorted receivers);
-        #: hello-beacon traffic re-broadcasts between topology changes, so
-        #: the filtered receiver list is reused until a position/membership/
-        #: activation change bumps the generation or a radio change replaces
-        #: the link-state cache.
+        #: sender -> (generation, linkstate, active sorted receivers, their
+        #: processes, all-stock-deliver flag); hello-beacon traffic
+        #: re-broadcasts between topology changes, so the filtered receiver
+        #: batch is reused until a position/membership/activation change bumps
+        #: the generation or a radio change replaces the link-state cache.
         self._receiver_cache: Dict[Hashable,
-                                   Tuple[int, LinkStateCache, List[Hashable]]] = {}
+                                   Tuple[int, Any, List[Hashable],
+                                         List[Process], bool]] = {}
         self._generation = 0
         self._topo_cache: Optional[nx.Graph] = None
         self._topo_cache_key: Optional[Tuple[int, Optional[float]]] = None
         self._directed_cache: Optional[nx.DiGraph] = None
         self._directed_cache_key: Optional[Tuple[int, Optional[float]]] = None
+        #: deterministic_vicinity() hoisted out of the per-broadcast path; it
+        #: is a class-level constant for every stock radio, and any custom
+        #: radio mutating it must invalidate_topology() (which refreshes it).
+        self._det_vicinity = radio.deterministic_vicinity()
         radio.add_mutation_listener(self.invalidate_topology)
 
     # ------------------------------------------------------------- topology
@@ -172,6 +196,7 @@ class Network:
         self._use_spatial_index = bool(value)
         if not self._use_spatial_index:
             self._linkstate = None
+            self._array_ls = None
 
     @property
     def vectorized_delivery(self) -> bool:
@@ -188,6 +213,24 @@ class Network:
         self._vectorized_delivery = bool(value)
         if not self._vectorized_delivery:
             self._linkstate = None
+            self._array_ls = None
+
+    @property
+    def array_state(self) -> bool:
+        """Whether node state is mirrored into the contiguous array store.
+
+        Disabling drops the store and the CSR link-state; the vectorized
+        pipeline then runs on the dict-based incremental cache.  Re-enabling
+        rebuilds both from the node table on the next query.
+        """
+        return self._array_state
+
+    @array_state.setter
+    def array_state(self, value: bool) -> None:
+        self._array_state = bool(value)
+        if not self._array_state:
+            self._store = None
+            self._array_ls = None
 
     def position_of(self, node_id: Hashable) -> Point:
         """Current position of ``node_id``."""
@@ -212,12 +255,75 @@ class Network:
         and a batch that moves nobody leaves every cache warm (no
         generation bump).
         """
+        if (self._store is not None and self._linkstate is None
+                and self._index is None and len(positions) > 1):
+            # Bulk path: membership validated with one C-level subset check,
+            # coordinates coerced by one array conversion — no per-node
+            # python validation.  Exotic inputs the conversion cannot digest
+            # (ragged tuples, extra coordinates) take the scalar loop below,
+            # which preserves the historical lenient coercion.
+            if not (self._processes.keys() >= positions.keys()):
+                unknown = next(nid for nid in positions
+                               if nid not in self._processes)
+                raise KeyError(f"unknown node {unknown!r}")
+            try:
+                coords = np.fromiter(positions.values(),
+                                     dtype=np.dtype((np.float64, 2)),
+                                     count=len(positions))
+            except (TypeError, ValueError):
+                coords = None
+            if coords is not None and coords.ndim == 2 and coords.shape[1] == 2:
+                self._bulk_position_update(list(positions), coords)
+                return
         updates: Dict[Hashable, Point] = {}
         for node_id, position in positions.items():
             if node_id not in self._processes:
                 raise KeyError(f"unknown node {node_id!r}")
             updates[node_id] = (float(position[0]), float(position[1]))
+        self._apply_position_updates(updates)
+
+    def _bulk_position_update(self, ids: List[Hashable],
+                              coords: np.ndarray) -> None:
+        """Masked-array tail of the batch teleports (store-only mirrors).
+
+        Only valid when neither the grid index nor the dict link-state cache
+        exists (both need per-node deltas): changed rows are detected and
+        written in whole-array operations, the position dict is patched for
+        the movers only, and the generation bumps once iff anything moved.
+        """
+        store = self._store
+        rows = np.fromiter(map(store.row_of.__getitem__, ids),
+                           dtype=np.int64, count=len(ids))
+        changed = (store.xy[rows] != coords).any(axis=1)
+        if not changed.any():
+            return
+        moved = np.flatnonzero(changed)
+        store.write_rows(rows[moved], coords[moved])
+        positions = self._positions
+        for k, xy in zip(moved.tolist(), coords[moved].tolist()):
+            positions[ids[k]] = (xy[0], xy[1])
+        if self._array_ls is not None:
+            self._array_ls.mark_dirty()
+        self._generation += 1
+
+    def _apply_position_updates(self, updates: Dict[Hashable, Point]) -> None:
+        """Apply pre-validated position updates with one generation bump.
+
+        On the array backend (store present, no dict link-state to patch
+        per-node) changed rows are written in a single masked array
+        assignment; otherwise each changed node goes through
+        :meth:`_apply_move` so the grid index and the dict cache see their
+        per-node deltas.  Either way, unchanged nodes cost nothing and a
+        batch that moves nobody leaves every cache warm.
+        """
         if not updates:
+            return
+        if (self._store is not None and self._linkstate is None
+                and self._index is None and len(updates) > 1):
+            self._bulk_position_update(
+                list(updates), np.fromiter(updates.values(),
+                                           dtype=np.dtype((np.float64, 2)),
+                                           count=len(updates)))
             return
         applied = False
         for node_id, pos in updates.items():
@@ -228,12 +334,16 @@ class Network:
             self._generation += 1
 
     def _apply_move(self, node_id: Hashable, pos: Point) -> None:
-        """Move one node, mirroring the grid index and the link-state cache."""
+        """Move one node, mirroring the grid index, store and link-state caches."""
         self._positions[node_id] = pos
+        if self._store is not None:
+            self._store.update(node_id, pos)
         if self._index is not None:
             self._index.update(node_id, pos)
         if self._linkstate is not None:
             self._linkstate.on_move(node_id)
+        if self._array_ls is not None:
+            self._array_ls.mark_dirty()
 
     def invalidate_topology(self) -> None:
         """Force the next snapshot/neighbour query to recompute.
@@ -246,6 +356,10 @@ class Network:
         """
         self._generation += 1
         self._linkstate = None
+        # A mutation can change the uniform link radius too; the node store
+        # itself only mirrors positions and survives radio changes.
+        self._array_ls = None
+        self._det_vicinity = self.radio.deterministic_vicinity()
 
     def process(self, node_id: Hashable) -> Process:
         """The protocol process attached to ``node_id``."""
@@ -272,14 +386,22 @@ class Network:
         if process.node_id in self._processes:
             raise ValueError(f"node {process.node_id!r} already exists")
         process.bind(self.sim, self)
+        if type(process).deliver is not Process.deliver:
+            self._stock_deliver = False
         pos = (float(position[0]), float(position[1]))
         self._processes[process.node_id] = process
         self._positions[process.node_id] = pos
-        self._order[process.node_id] = next(self._order_counter)
+        order = next(self._order_counter)
+        self._order[process.node_id] = order
+        if self._store is not None:
+            self._store.insert(process.node_id, pos, order, process,
+                               process._active)
         if self._index is not None:
             self._index.insert(process.node_id, pos)
         if self._linkstate is not None:
             self._linkstate.on_insert(process.node_id)
+        if self._array_ls is not None:
+            self._array_ls.mark_dirty()
         self._generation += 1
 
     def remove_node(self, node_id: Hashable) -> Process:
@@ -287,10 +409,14 @@ class Network:
         process = self._processes.pop(node_id)
         self._positions.pop(node_id, None)
         self._order.pop(node_id, None)
+        if self._store is not None:
+            self._store.remove(node_id)
         if self._index is not None:
             self._index.remove(node_id)
         if self._linkstate is not None:
             self._linkstate.on_remove(node_id)
+        if self._array_ls is not None:
+            self._array_ls.mark_dirty()
         self._receiver_cache.pop(node_id, None)
         self._generation += 1
         return process
@@ -314,6 +440,8 @@ class Network:
 
     def notify_activation_change(self, node_id: Hashable, active: bool) -> None:
         """Invalidate snapshots after an activation flip (called by the process)."""
+        if self._store is not None:
+            self._store.set_active(node_id, active)
         self._generation += 1
 
     # -------------------------------------------------------------- mobility
@@ -337,31 +465,22 @@ class Network:
         step = float(interval if interval is not None else self.mobility.step_interval)
         if step <= 0:
             raise ValueError("mobility interval must be positive")
-        # Function-level import: the mobility package pulls in models that
-        # import repro.net, so a module-level import would be circular.
-        from repro.mobility.base import moved_nodes
-
         def _move() -> None:
             # The model gets a copy: a model that mutates its input in place
             # and returns it would otherwise make the before/after diff
             # vacuous (and could corrupt the live table mid-comparison).
             new_positions = self.mobility.step(dict(self._positions), step)
-            # Delta maintenance: paused/static nodes flip no link, so only
-            # actually-moved nodes touch the grid and the link-state cache —
-            # and a step that moved nobody leaves the snapshot/receiver
-            # caches warm (no generation bump).
-            moved = moved_nodes(self._positions, new_positions)
-            applied = False
-            for node_id, pos in moved.items():
-                if node_id not in self._processes:
-                    # Mobility models may carry state for nodes the network
-                    # never knew or has removed; admitting them would break
-                    # the positions ↔ processes ↔ index mirror invariant.
-                    continue
-                self._apply_move(node_id, pos)
-                applied = True
-            if applied:
-                self._generation += 1
+            processes = self._processes
+            # Mobility models may carry state for nodes the network never
+            # knew or has removed; admitting them would break the
+            # positions ↔ processes ↔ index mirror invariant.  Change
+            # detection (paused/static nodes flip no link and must leave
+            # every cache warm) happens inside the update application — as a
+            # whole-array comparison on the bulk path, per node otherwise —
+            # so no separate python diff pass runs here.
+            updates = {node_id: pos for node_id, pos in new_positions.items()
+                       if node_id in processes}
+            self._apply_position_updates(updates)
             if self._position_listeners:
                 # One shared snapshot per step: copying the whole position map
                 # once instead of once per listener.
@@ -391,6 +510,24 @@ class Network:
             self._index = UniformGridIndex(max_range, self._positions)
         return self._index
 
+    def _node_store(self) -> NodeArrayStore:
+        """The array mirror of the node table, built on demand.
+
+        Once built it is maintained incrementally by every membership /
+        position / activation mutation, so the rebuild-from-scratch below
+        only runs after ``array_state`` is toggled back on.
+        """
+        store = self._store
+        if store is None:
+            store = NodeArrayStore()
+            order = self._order
+            positions = self._positions
+            for node_id, proc in self._processes.items():
+                store.insert(node_id, positions[node_id], order[node_id],
+                             proc, proc._active)
+            self._store = store
+        return store
+
     def _vicinity_candidates(self, sender: Hashable) -> Iterable[Hashable]:
         """Nodes that could possibly hear ``sender``, in insertion order.
 
@@ -407,16 +544,36 @@ class Network:
         candidates.sort(key=self._order.__getitem__)
         return candidates
 
-    def _link_state(self) -> Optional[LinkStateCache]:
-        """The incremental link-state cache, (re)built on demand.
+    def _link_state(self):
+        """The link-state cache, (re)built on demand.
 
-        ``None`` whenever the vectorized pipeline is off or the spatial index
-        is unavailable (unbounded radio / index disabled) — callers then take
-        the scan paths.  A ``max_range`` change (new grid cell size) rebuilds
-        the cache against the fresh index.
+        Three-way dispatch.  With ``array_state`` on and a uniform-link-radius
+        radio, the CSR :class:`~repro.net.arraystate.ArrayLinkState` serves
+        every query straight from the node store.  Non-uniform radios fall
+        back to the dict-based incremental :class:`LinkStateCache`.  ``None``
+        whenever the vectorized pipeline is off or the spatial index is
+        unavailable (unbounded radio / index disabled) — callers then take
+        the scan paths.  A radius change — assigned through a notifying
+        setter or mutated silently — is auto-detected per query, exactly as
+        the ``max_range`` check always did for the dict cache.
         """
         if not self.vectorized_delivery:
             return None
+        if self._array_state and self._use_spatial_index:
+            als = self._array_ls
+            radius = self.radio.uniform_link_radius()
+            if als is not None and als.radius == radius:
+                return als
+            # A uniform radius only qualifies alongside a bounded max_range:
+            # radios that report max_range() is None opt out of every spatial
+            # structure (e.g. custom always-hear radios that inherit a stock
+            # uniform_link_radius) and keep the brute-force scan.
+            if (radius is not None and radius > 0
+                    and self.radio.max_range() is not None):
+                als = ArrayLinkState(radius, self._node_store())
+                self._array_ls = als
+                return als
+            self._array_ls = None
         cache = self._linkstate
         if (cache is not None and self.use_spatial_index
                 and cache.index is self._index
@@ -462,7 +619,7 @@ class Network:
         self.messages_sent += 1
         if self.trace is not None:
             self.trace.record(self.sim.now, "send", sender=sender)
-        linkstate = self._link_state() if self.radio.deterministic_vicinity() else None
+        linkstate = self._link_state() if self._det_vicinity else None
         if linkstate is not None:
             return self._broadcast_batched(linkstate, sender, payload)
         sender_pos = self._positions[sender]
@@ -488,7 +645,7 @@ class Network:
                 self.sim.schedule(decision.delay, self._deliver, sender, receiver, payload)
         return accepted
 
-    def _broadcast_batched(self, linkstate: LinkStateCache, sender: Hashable,
+    def _broadcast_batched(self, linkstate: Any, sender: Hashable,
                            payload: Any) -> int:
         """Batched tail of :meth:`broadcast` (deterministic-vicinity radios).
 
@@ -500,23 +657,90 @@ class Network:
         cached = self._receiver_cache.get(sender)
         # Keyed on (generation, cache instance): every position/membership/
         # activation change bumps the generation, and any radio change —
-        # notified or auto-detected through max_range() — replaces the
-        # link-state instance.
-        if cached is not None and cached[0] == generation and cached[1] is linkstate:
-            receivers = cached[2]
-        else:
-            processes = self._processes
-            receivers = [r for r in linkstate.out_neighbors_sorted(sender)
-                         if processes[r]._active]
-            self._receiver_cache[sender] = (generation, linkstate, receivers)
+        # notified or auto-detected through the per-query radius check —
+        # replaces the link-state instance.
+        if cached is not None:
+            gen_c, ls_c, receivers, procs, procs_arr = cached
+            cached = gen_c == generation and ls_c is linkstate
+        if not cached:
+            # Caching the process objects (list + object ndarray) next to the
+            # ids lets the delivery loop skip one dict lookup per receiver
+            # and gather accepted subsets with one masked index.
+            if type(linkstate) is ArrayLinkState:
+                receivers, procs_arr = linkstate.active_receivers(sender,
+                                                                  generation)
+                procs = procs_arr.tolist()
+            else:
+                processes = self._processes
+                receivers = [r for r in linkstate.out_neighbors_sorted(sender)
+                             if processes[r]._active]
+                procs = [processes[r] for r in receivers]
+                procs_arr = np.empty(len(procs), dtype=object)
+                procs_arr[:] = procs
+            self._receiver_cache[sender] = (generation, linkstate, receivers,
+                                            procs, procs_arr)
         if not receivers:
             return 0
         now = self.sim.now
-        batch = self.channel.decide_batch(sender, receivers, now)
-        delivered, delays = batch.delivered, batch.delays
-        accepted = batch.accepted()
+        channel = self.channel
         trace = self.trace
-        if accepted == len(receivers) and min(delays) > 0:
+        if (trace is None and self._stock_deliver
+                and not getattr(payload, "is_app_payload", False)):
+            # Hottest path of dense-field runs (a quarter-million deliveries
+            # per simulated second at 1000 nodes): with no trace, no app
+            # payload and only stock ``deliver`` implementations, probe the
+            # channel's zero-delay fast hook — it answers only when every
+            # delay is 0.0, with RNG consumption and counters identical to
+            # ``decide_batch``, so no :class:`BatchDecisions` (nor its
+            # delivered/delay lists) is ever materialized.  Semantics match
+            # ``_deliver`` exactly: a receiver deactivated by an earlier
+            # delivery of this very batch is still skipped, and stock
+            # ``deliver`` routes a non-app payload to ``on_message``
+            # regardless of any attached app handler.
+            res = channel.decide_batch_fast(sender, receivers, now)
+            if res is not None:
+                mask, accepted = res
+                live = procs if mask is None else procs_arr[mask].tolist()
+                # ``len(live) == accepted``; count down on the (contractually
+                # impossible, but parity-preserved) mid-batch deactivation
+                # instead of counting up per delivery.
+                ndelivered = accepted
+                for proc in live:
+                    if proc._active:
+                        proc.on_message(sender, payload)
+                    else:
+                        ndelivered -= 1
+                self.messages_dropped += len(receivers) - accepted
+                self.messages_delivered += ndelivered
+                return accepted
+        batch = channel.decide_batch(sender, receivers, now)
+        delivered, delays = batch.delivered, batch.delays
+        accepted = batch.n_accepted
+        if accepted is None:
+            accepted = batch.accepted()
+        n_receivers = len(receivers)
+        if batch.zero_delay:
+            # Zero-delay batches from channels without the fast hook (e.g. a
+            # collision-free CollisionChannel round) still get the direct
+            # dispatch under the same no-trace/no-app/stock conditions.
+            if (trace is None and self._stock_deliver
+                    and not getattr(payload, "is_app_payload", False)):
+                if accepted == n_receivers:
+                    live = procs
+                elif batch.delivered_array is not None:
+                    live = procs_arr[batch.delivered_array].tolist()
+                else:
+                    live = [procs[i] for i, ok in enumerate(delivered) if ok]
+                ndelivered = accepted
+                for proc in live:
+                    if proc._active:
+                        proc.on_message(sender, payload)
+                    else:
+                        ndelivered -= 1
+                self.messages_dropped += n_receivers - accepted
+                self.messages_delivered += ndelivered
+                return accepted
+        elif accepted == n_receivers and min(delays) > 0:
             # Purely delayed, nothing dropped: one bulk heap insertion.  No
             # callback runs between the decisions and the inserts, so the
             # events get the same contiguous sequence numbers the scalar
@@ -525,9 +749,9 @@ class Network:
                                    [(sender, receiver, payload) for receiver in receivers])
             return accepted
         reasons = batch.reasons
-        processes = self._processes
         schedule = self.sim.schedule
         deliver = self._deliver
+        processes = self._processes
         for i, receiver in enumerate(receivers):
             if not delivered[i]:
                 self.messages_dropped += 1
@@ -537,15 +761,10 @@ class Network:
                 continue
             delay = delays[i]
             if delay <= 0:
-                # _deliver inlined: this runs a quarter-million times per
-                # simulated second at 1000 nodes, and the call overhead is
-                # the largest remaining per-receiver cost.  Semantics are
-                # identical — a receiver deactivated by an earlier delivery
-                # of this very batch is still skipped, and the counter
-                # advances before the process hook exactly as in _deliver.
+                # _deliver inlined (call overhead matters even on this
+                # slower path); ``processes.get`` keeps the removed-node
+                # guard of the scalar loop.
                 proc = processes.get(receiver)
-                # _active read directly: the property costs a call per
-                # delivery and this loop dominates dense-field runs.
                 if proc is None or not proc._active:
                     continue
                 self.messages_delivered += 1
@@ -579,7 +798,10 @@ class Network:
             return self._topo_cache
         linkstate = self._link_state()
         if linkstate is not None:
-            graph = self._symmetric_from_linkstate(linkstate)
+            if type(linkstate) is ArrayLinkState:
+                graph = self._symmetric_from_arraystate(linkstate)
+            else:
+                graph = self._symmetric_from_linkstate(linkstate)
             self._topo_cache = graph
             self._topo_cache_key = key
             return graph
@@ -625,6 +847,36 @@ class Network:
                     graph.add_edge(u, v)
         return graph
 
+    def _active_node_lists(self, store: NodeArrayStore) -> Tuple[List[Hashable], np.ndarray]:
+        """(active node ids in insertion order, active mask over store rows)."""
+        active_rows = store.active[:store.n]
+        row_of = store.row_of
+        nodes = [n for n in self._positions if active_rows[row_of[n]]]
+        return nodes, active_rows
+
+    def _symmetric_from_arraystate(self, linkstate: ArrayLinkState) -> nx.Graph:
+        """Symmetric snapshot straight from the CSR arrays.
+
+        Node and edge insertion order match the scan-based builds exactly
+        (insertion-ordered nodes, ``(order[u], order[v])``-sorted edges), so
+        downstream graph algorithms replay identically.
+        """
+        store = linkstate.store
+        nodes, active_rows = self._active_node_lists(store)
+        graph = nx.Graph()
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(linkstate.symmetric_edges(active_rows))
+        return graph
+
+    def _directed_from_arraystate(self, linkstate: ArrayLinkState) -> nx.DiGraph:
+        """Directed snapshot straight from the CSR arrays."""
+        store = linkstate.store
+        nodes, active_rows = self._active_node_lists(store)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(linkstate.directed_arcs(active_rows))
+        return graph
+
     def _directed_from_linkstate(self, linkstate: LinkStateCache) -> nx.DiGraph:
         """Directed snapshot from cached links — zero link re-tests."""
         active = self.active_nodes()
@@ -642,7 +894,10 @@ class Network:
             return self._directed_cache
         linkstate = self._link_state()
         if linkstate is not None:
-            graph = self._directed_from_linkstate(linkstate)
+            if type(linkstate) is ArrayLinkState:
+                graph = self._directed_from_arraystate(linkstate)
+            else:
+                graph = self._directed_from_linkstate(linkstate)
             self._directed_cache = graph
             self._directed_cache_key = key
             return graph
@@ -703,6 +958,12 @@ class Network:
             proc = processes.get(node_id)
             if proc is None or not proc._active:
                 return set()
+            if type(linkstate) is ArrayLinkState:
+                store = linkstate.store
+                rows = linkstate.out_rows(node_id)
+                if rows.size:
+                    rows = rows[store.active[rows]]
+                return set(store.ids[rows].tolist()) if rows.size else set()
             return {w for w in linkstate.symmetric_neighbors(node_id)
                     if processes[w]._active}
         graph = self._symmetric_snapshot()

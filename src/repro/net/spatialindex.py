@@ -23,7 +23,9 @@ Invariants maintained by the index (and relied upon by
   filtered with the Euclidean distance, with the same inclusive ``d <= r``
   comparison the radio models use, so indexed and brute-force neighbour sets
   are identical (including nodes exactly at range ``r`` and coincident
-  points);
+  points).  Dense queries take a vectorized squared-distance path whose
+  boundary band is re-checked with the scalar predicate, keeping the same
+  guarantee (see :mod:`repro.net.arraystate` for the exactness argument);
 * iteration order is deterministic: cells and their occupants are stored in
   insertion-ordered dictionaries, never plain sets.
 
@@ -37,11 +39,19 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, Iterator, List, Mapping, Sequence, Tuple
 
+import numpy as np
+
+from .arraystate import HYPOT_GUARD_BAND
 from .geometry import Point
 
 __all__ = ["UniformGridIndex"]
 
 Cell = Tuple[int, int]
+
+# Candidate count above which query_ball switches from the scalar hypot loop
+# to the vectorized squared-distance filter.  Below this, building the
+# coordinate array costs more than the loop it replaces.
+_VECTOR_MIN_CANDIDATES = 64
 
 
 class UniformGridIndex:
@@ -139,21 +149,49 @@ class UniformGridIndex:
             return []
         cx, cy = self.cell_key(position)
         k = self._ring_extent(r)
-        # Local aliases and an inlined math.hypot keep this hot loop cheap
-        # while computing the exact same float as geometry.distance().
-        cells, positions, hypot = self._cells, self._positions, math.hypot
-        px, py = position[0], position[1]
-        out: List[Hashable] = []
+        cells = self._cells
+        occupied: List[Dict[Hashable, None]] = []
+        total = 0
         for dx in range(-k, k + 1):
             for dy in range(-k, k + 1):
                 occupants = cells.get((cx + dx, cy + dy))
-                if not occupants:
-                    continue
+                if occupants:
+                    occupied.append(occupants)
+                    total += len(occupants)
+        if total == 0:
+            return []
+        positions, hypot = self._positions, math.hypot
+        px, py = float(position[0]), float(position[1])
+        if total < _VECTOR_MIN_CANDIDATES:
+            # Local aliases and an inlined math.hypot keep this hot loop cheap
+            # while computing the exact same float as geometry.distance().
+            out: List[Hashable] = []
+            for occupants in occupied:
                 for node in occupants:
                     q = positions[node]
                     if hypot(q[0] - px, q[1] - py) <= r:
                         out.append(node)
-        return out
+            return out
+        # Vectorized filter on squared distances.  Candidates whose squared
+        # distance falls within a tiny relative band of r² are re-checked with
+        # the scalar math.hypot predicate (on the identical float differences)
+        # so the result matches the loop above bit for bit — including points
+        # exactly at range r and coincident with the query position.
+        names: List[Hashable] = []
+        for occupants in occupied:
+            names.extend(occupants)
+        coords = np.fromiter((positions[n] for n in names),
+                             dtype=np.dtype((np.float64, 2)), count=total)
+        dxs = coords[:, 0] - px
+        dys = coords[:, 1] - py
+        sq = dxs * dxs
+        sq += dys * dys
+        rsq = r * r
+        keep = sq <= rsq
+        band = np.flatnonzero(np.abs(sq - rsq) <= rsq * (2.0 * HYPOT_GUARD_BAND))
+        for i in band.tolist():
+            keep[i] = hypot(dxs[i], dys[i]) <= r
+        return [names[i] for i in np.flatnonzero(keep).tolist()]
 
     def neighbors_within(self, node: Hashable, r: float) -> List[Hashable]:
         """Indexed nodes within distance ``r`` of ``node`` (excluding itself)."""

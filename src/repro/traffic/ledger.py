@@ -84,9 +84,15 @@ class _GroupTally:
 
 
 def _percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending list (deterministic)."""
+    """Nearest-rank percentile of an ascending list (deterministic).
+
+    The rank is clamped into ``[0, len - 1]``, so a single-sample list
+    returns its sample for *any* fraction and fractions at or beyond 1.0
+    (or float round-up of ``fraction * len``) return the maximum instead
+    of indexing past the end.
+    """
     index = max(0, math.ceil(fraction * len(sorted_values)) - 1)
-    return sorted_values[index]
+    return sorted_values[min(index, len(sorted_values) - 1)]
 
 
 class DeliveryLedger:

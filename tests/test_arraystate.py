@@ -1,0 +1,287 @@
+"""Unit and exactness tests for the array-native state backend.
+
+:mod:`repro.net.arraystate` promises two things: the
+:class:`NodeArrayStore` mirrors the network's node table exactly through any
+insert/remove/update sequence (rows dense, swap-with-last removal, order
+stamps intact), and the :class:`ArrayLinkState` CSR adjacency equals the
+scalar ``math.hypot(dx, dy) <= r`` link predicate *bit for bit* — the
+guard-banded squared-distance filter may never flip an inclusive comparison,
+even for coincident points, nodes exactly at range and cell-edge placements.
+The ``decide_batch_fast`` parity tests hold the zero-delay channel shortcut
+to the same standard: identical accept/drop counts, counters and RNG stream
+as the full batch path.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.arraystate import ArrayLinkState, NodeArrayStore
+from repro.net.channel import CollisionChannel, LossyChannel, PerfectChannel
+from repro.net.network import Network
+from repro.net.radio import UnitDiskRadio
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+
+
+class Idle(Process):
+    def on_message(self, sender, payload):
+        pass
+
+
+def make_store(points):
+    store = NodeArrayStore()
+    for i, pos in enumerate(points):
+        store.insert(i, pos, order=i, proc=f"proc-{i}", active=True)
+    return store
+
+
+def brute_arcs(points, r):
+    out = set()
+    for i, p in enumerate(points):
+        for j, q in enumerate(points):
+            if i != j and math.hypot(p[0] - q[0], p[1] - q[1]) <= r:
+                out.add((i, j))
+    return out
+
+
+# ------------------------------------------------------------ NodeArrayStore
+
+
+class TestNodeArrayStore:
+    def test_insert_assigns_dense_rows(self):
+        store = make_store([(0.0, 0.0), (1.0, 2.0), (3.0, 4.0)])
+        assert len(store) == 3
+        assert [store.row_of[i] for i in range(3)] == [0, 1, 2]
+        assert store.position_of(1) == (1.0, 2.0)
+        assert 2 in store and 7 not in store
+
+    def test_duplicate_insert_rejected(self):
+        store = make_store([(0.0, 0.0)])
+        with pytest.raises(ValueError):
+            store.insert(0, (1.0, 1.0), order=9, proc=None, active=True)
+
+    def test_remove_swaps_last_row_in(self):
+        store = make_store([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        store.remove(0)
+        assert len(store) == 2
+        # Node 2 (last row) moved into row 0; all mirrors must follow.
+        assert store.row_of[2] == 0
+        assert store.position_of(2) == (2.0, 2.0)
+        assert store.order[0] == 2
+        assert store.ids[0] == 2
+        assert store.procs[0] == "proc-2"
+        # Vacated tail releases its object references.
+        assert store.ids[2] is None and store.procs[2] is None
+
+    def test_remove_last_row(self):
+        store = make_store([(0.0, 0.0), (1.0, 1.0)])
+        store.remove(1)
+        assert len(store) == 1
+        assert 1 not in store.row_of
+        assert store.position_of(0) == (0.0, 0.0)
+
+    def test_update_and_write_rows(self):
+        store = make_store([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        store.update(1, (9.0, 9.0))
+        assert store.position_of(1) == (9.0, 9.0)
+        store.write_rows(np.array([0, 2]), np.array([[5.0, 5.0], [6.0, 6.0]]))
+        assert store.position_of(0) == (5.0, 5.0)
+        assert store.position_of(2) == (6.0, 6.0)
+
+    def test_set_active_tracks_mask(self):
+        store = make_store([(0.0, 0.0), (1.0, 1.0)])
+        store.set_active(0, False)
+        assert not store.active[store.row_of[0]]
+        assert store.active[store.row_of[1]]
+        store.set_active(99, False)  # unknown node: silent no-op
+
+    def test_growth_beyond_initial_capacity(self):
+        points = [(float(i), float(2 * i)) for i in range(200)]
+        store = make_store(points)
+        assert len(store) == 200
+        for i in (0, 63, 64, 199):
+            assert store.position_of(i) == points[i]
+            assert store.order[store.row_of[i]] == i
+
+
+# ----------------------------------------------------- ArrayLinkState exactness
+
+
+class TestArrayLinkStateExactness:
+    def build(self, points, r):
+        store = make_store(points)
+        return ArrayLinkState(r, store)
+
+    def assert_matches_brute(self, points, r):
+        ls = self.build(points, r)
+        assert set(ls.arcs()) == brute_arcs(points, r)
+
+    def test_random_field_matches_brute_force(self):
+        rng = np.random.default_rng(7)
+        points = [tuple(map(float, p)) for p in rng.uniform(0, 400, size=(150, 2))]
+        self.assert_matches_brute(points, 60.0)
+
+    def test_coincident_points_all_linked(self):
+        # Zero-distance pairs sit exactly on the sq <= r*r boundary when
+        # r == 0 and well inside it otherwise; both must link.
+        points = [(10.0, 10.0)] * 5 + [(10.0, 11.0)]
+        ls = self.build(points, 2.0)
+        arcs = set(ls.arcs())
+        assert arcs == brute_arcs(points, 2.0)
+        assert (0, 1) in arcs and (4, 5) in arcs
+
+    def test_exactly_at_range_is_inclusive(self):
+        # d == r exactly: the inclusive scalar predicate keeps the link, so
+        # the guard-band re-check must too.  3-4-5 triangles make d == r
+        # exact in floating point.
+        points = [(0.0, 0.0), (3.0, 4.0), (6.0, 8.0), (3.0, -4.0)]
+        ls = self.build(points, 5.0)
+        arcs = set(ls.arcs())
+        assert arcs == brute_arcs(points, 5.0)
+        assert (0, 1) in arcs and (1, 2) in arcs
+        assert (0, 2) not in arcs  # d = 10 > 5
+
+    def test_just_beyond_range_is_excluded(self):
+        r = 5.0
+        eps = math.ulp(5.0)
+        points = [(0.0, 0.0), (r + eps, 0.0), (r, 0.0)]
+        ls = self.build(points, r)
+        arcs = set(ls.arcs())
+        assert (0, 2) in arcs
+        assert (0, 1) not in arcs
+
+    def test_cell_edge_placements(self):
+        # Nodes at exact multiples of the cell side (cell side == r in the
+        # binning pass): every same-edge and cross-edge pair must match the
+        # scalar predicate, including the corner pairs at exactly sqrt(2)*r
+        # (excluded) and axis pairs at exactly r (included).
+        r = 10.0
+        points = [(x * r, y * r) for x in range(4) for y in range(4)]
+        self.assert_matches_brute(points, r)
+        ls = self.build(points, r)
+        arcs = set(ls.arcs())
+        assert (0, 1) in arcs       # (0,0)-(0,10): d == r
+        assert (0, 5) not in arcs   # (0,0)-(10,10): d == sqrt(2)*r > r
+
+    def test_negative_coordinates(self):
+        rng = np.random.default_rng(3)
+        points = [tuple(map(float, p)) for p in rng.uniform(-300, 300, size=(80, 2))]
+        self.assert_matches_brute(points, 90.0)
+
+    def test_rebuild_after_store_mutation(self):
+        points = [(0.0, 0.0), (5.0, 0.0), (50.0, 0.0)]
+        store = make_store(points)
+        ls = ArrayLinkState(10.0, store)
+        assert set(ls.arcs()) == {(0, 1), (1, 0)}
+        store.update(2, (10.0, 0.0))
+        ls.mark_dirty()
+        assert set(ls.arcs()) == brute_arcs([(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)], 10.0)
+        store.remove(1)
+        assert set(ls.arcs()) == {(0, 2), (2, 0)}  # membership change auto-detected
+
+    def test_active_receivers_filter_and_order(self):
+        points = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]
+        store = make_store(points)
+        ls = ArrayLinkState(10.0, store)
+        ids, procs = ls.active_receivers(0, token=1)
+        assert ids == [1, 2, 3]  # insertion order
+        assert list(procs) == ["proc-1", "proc-2", "proc-3"]
+        store.set_active(2, False)
+        ids, procs = ls.active_receivers(0, token=2)  # new token -> refilter
+        assert ids == [1, 3]
+        assert list(procs) == ["proc-1", "proc-3"]
+        # Same token serves the cached filtered view.
+        ids_again, _ = ls.active_receivers(0, token=2)
+        assert ids_again == [1, 3]
+
+
+# ---------------------------------------------- network-level array semantics
+
+
+class TestNetworkArrayBackend:
+    def build(self, n=30, r=120.0, seed=5, area=400.0):
+        sim = Simulator(seed=seed)
+        network = Network(sim, radio=UnitDiskRadio(r), array_state=True)
+        rng = np.random.default_rng(seed)
+        for i in range(n):
+            network.add_node(Idle(i), (float(rng.uniform(0, area)),
+                                       float(rng.uniform(0, area))))
+        return network
+
+    def test_array_backend_engaged_for_uniform_radio(self):
+        network = self.build()
+        assert isinstance(network._link_state(), ArrayLinkState)
+
+    def test_neighbors_match_dict_backend(self):
+        fast = self.build()
+        slow = self.build()
+        slow.array_state = False
+        assert slow._link_state() is not None
+        assert not isinstance(slow._link_state(), ArrayLinkState)
+        for node in fast.node_ids:
+            assert fast.neighbors_of(node) == slow.neighbors_of(node)
+        assert set(fast.topology().edges) == set(slow.topology().edges)
+        assert (set(fast.directed_topology().edges)
+                == set(slow.directed_topology().edges))
+
+
+# ------------------------------------------------- decide_batch_fast parity
+
+
+RECEIVERS = list(range(40))
+
+
+class TestDecideBatchFastParity:
+    """The zero-delay shortcut must be indistinguishable from decide_batch."""
+
+    def test_perfect_channel_accepts_everything(self):
+        channel = PerfectChannel()
+        res = channel.decide_batch_fast("s", RECEIVERS, 0.0)
+        assert res == (None, len(RECEIVERS))
+
+    def test_perfect_channel_with_delay_declines(self):
+        assert PerfectChannel(delay=0.5).decide_batch_fast("s", RECEIVERS, 0.0) is None
+
+    def test_lossy_parity_counts_and_rng(self):
+        fast = LossyChannel(loss_probability=0.3, rng=np.random.default_rng(11))
+        slow = LossyChannel(loss_probability=0.3, rng=np.random.default_rng(11))
+        for _ in range(10):
+            mask, accepted = fast.decide_batch_fast("s", RECEIVERS, 0.0)
+            batch = slow.decide_batch("s", RECEIVERS, 0.0)
+            assert accepted == batch.accepted()
+            assert mask.tolist() == list(batch.delivered)
+            # Same RNG consumption: the streams stay in lockstep.
+            assert (fast._rng.bit_generator.state
+                    == slow._rng.bit_generator.state)
+        assert fast.delivered == slow.delivered
+        assert fast.dropped == slow.dropped
+
+    def test_lossy_lossless_shortcut(self):
+        channel = LossyChannel(loss_probability=0.0,
+                               rng=np.random.default_rng(2))
+        state_before = channel._rng.bit_generator.state
+        assert channel.decide_batch_fast("s", RECEIVERS, 0.0) == (None, len(RECEIVERS))
+        assert channel.delivered == len(RECEIVERS)
+        # p == 0 consumes no randomness.
+        assert channel._rng.bit_generator.state == state_before
+
+    def test_lossy_with_delay_declines_without_rng_consumption(self):
+        channel = LossyChannel(loss_probability=0.3, min_delay=0.1, max_delay=0.2,
+                               rng=np.random.default_rng(4))
+        state_before = channel._rng.bit_generator.state
+        assert channel.decide_batch_fast("s", RECEIVERS, 0.0) is None
+        assert channel._rng.bit_generator.state == state_before
+        assert channel.delivered == 0 and channel.dropped == 0
+
+    def test_lossy_empty_batch(self):
+        channel = LossyChannel(loss_probability=0.3, rng=np.random.default_rng(6))
+        assert channel.decide_batch_fast("s", [], 0.0) == (None, 0)
+
+    def test_collision_channel_always_declines(self):
+        channel = CollisionChannel(collision_window=0.1,
+                                   rng=np.random.default_rng(8))
+        state_before = channel._rng.bit_generator.state
+        assert channel.decide_batch_fast("s", RECEIVERS, 0.0) is None
+        assert channel._rng.bit_generator.state == state_before

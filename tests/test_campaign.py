@@ -284,6 +284,49 @@ class TestFailurePolicy:
         assert "E6 (failed) ==" not in report
         assert ok.description in report
 
+    def test_raising_task_restores_sigalrm_state(self, monkeypatch):
+        """A task that raises mid-timer must not leak handler or armed timer.
+
+        Restoration is try/finally in ``_attempt_deadline``: after a failing
+        attempt (plus its retry) the previous SIGALRM handler is back in
+        place and the interval timer is disarmed, so the next attempt's
+        retry accounting cannot be corrupted by a stale alarm.
+        """
+        import signal
+
+        import repro.experiments.suite as suite
+
+        def sentinel_handler(signum, frame):  # pragma: no cover - never fired
+            raise AssertionError("stale alarm leaked into later code")
+
+        previous = signal.signal(signal.SIGALRM, sentinel_handler)
+        try:
+            def explode(*args, **kwargs):
+                raise RuntimeError("boom mid-timer")
+
+            monkeypatch.setattr(suite, "run_experiment", explode)
+            task = small_spec().expand()[0]
+            outcome = execute_task(task, timeout=30.0, retries=1)
+            assert outcome.rows[0]["status"] == "failed"
+            assert outcome.rows[0]["failure"] == "RuntimeError"
+            # Handler restored to ours, timer fully disarmed.
+            assert signal.getsignal(signal.SIGALRM) is sentinel_handler
+            assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_deadline_restores_handler_when_body_raises(self):
+        import signal
+
+        from repro.campaign.executor import _attempt_deadline
+
+        before = signal.getsignal(signal.SIGALRM)
+        with pytest.raises(ValueError):
+            with _attempt_deadline(30.0):
+                raise ValueError("mid-timer failure")
+        assert signal.getsignal(signal.SIGALRM) is before
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
     def test_timeout_disabled_off_main_thread(self, monkeypatch):
         """A worker thread cannot use SIGALRM; tasks run undeadlined, not failed."""
         import threading

@@ -55,9 +55,9 @@ def assert_cache_consistent(network):
         assert orders == sorted(orders)
 
 
-def build_network(radio, n, area, seed):
+def build_network(radio, n, area, seed, array_state=True):
     sim = Simulator(seed=seed)
-    network = Network(sim, radio=radio)
+    network = Network(sim, radio=radio, array_state=array_state)
     rng = np.random.default_rng(seed)
     for i in range(n):
         network.add_node(Idle(i), (rng.uniform(0, area), rng.uniform(0, area)))
@@ -71,10 +71,13 @@ RADIOS = [
 ]
 
 
+@pytest.mark.parametrize("array_state", [True, False],
+                         ids=["array", "dict"])
 @pytest.mark.parametrize("seed", [0, 1, 2, 3])
 @pytest.mark.parametrize("radio_factory", RADIOS)
-def test_randomized_delta_sequence_matches_rebuild(radio_factory, seed):
-    network, rng = build_network(radio_factory(), n=40, area=600.0, seed=seed)
+def test_randomized_delta_sequence_matches_rebuild(radio_factory, seed, array_state):
+    network, rng = build_network(radio_factory(), n=40, area=600.0, seed=seed,
+                                 array_state=array_state)
     assert_cache_consistent(network)
     next_id = 40
     for step in range(60):

@@ -22,6 +22,28 @@ class TestGeometry:
         assert len(out) == 1
         assert list(out.values())[0] == pytest.approx(5.0)
 
+    def test_pairwise_distances_int_keys_sorted_numerically(self):
+        # Regression: repr-based pair ordering gave keys like (10, 2) for int
+        # ids >= 10 ("10" < "2" lexicographically), breaking lookups that
+        # sort numerically.  Keys now put the smaller member first under the
+        # ids' own ordering.
+        out = pairwise_distances({2: (0, 0), 10: (3, 4), 100: (0, 8)})
+        assert set(out) == {(2, 10), (2, 100), (10, 100)}
+        assert out[(2, 10)] == pytest.approx(5.0)
+        assert out[(2, 100)] == pytest.approx(8.0)
+        assert out[(10, 100)] == pytest.approx(5.0)
+
+    def test_pairwise_distances_uncomparable_ids_fall_back_to_repr(self):
+        # Mixed-type ids that don't support "<" still get canonical keys.
+        out = pairwise_distances({"a": (0, 0), 3: (3, 4)})
+        assert len(out) == 1
+        key = next(iter(out))
+        assert set(key) == {"a", 3}
+        assert out[key] == pytest.approx(5.0)
+        # Same mapping, reversed insertion order: identical key.
+        again = pairwise_distances({3: (3, 4), "a": (0, 0)})
+        assert next(iter(again)) == key
+
     def test_random_positions_within_area(self):
         rng = np.random.default_rng(0)
         positions = random_positions(range(50), (100.0, 60.0), rng)

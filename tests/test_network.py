@@ -168,6 +168,32 @@ class TestGenerationBumping:
         assert network.position_of("a") == (0.0, 0.0)
         assert network.topology_generation == before
 
+    def test_set_position_unknown_node_leaves_caches_untouched(self):
+        # KeyError must fire before any index/link-state/store mutation: a
+        # failed scalar move leaves the generation counter and the cached
+        # snapshot objects exactly as they were (cache-truth invariant).
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        graph = network._symmetric_snapshot()
+        directed = network._directed_snapshot()
+        before = network.topology_generation
+        with pytest.raises(KeyError):
+            network.set_position("zzz", (1.0, 1.0))
+        assert network.topology_generation == before
+        assert network._symmetric_snapshot() is graph
+        assert network._directed_snapshot() is directed
+
+    def test_set_position_malformed_position_leaves_caches_untouched(self):
+        # Coordinate coercion failures are raised before mutation too, so a
+        # half-valid position can never partially move a node.
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        graph = network._symmetric_snapshot()
+        before = network.topology_generation
+        with pytest.raises((TypeError, ValueError)):
+            network.set_position("a", (1.0, "not-a-number"))
+        assert network.position_of("a") == (0.0, 0.0)
+        assert network.topology_generation == before
+        assert network._symmetric_snapshot() is graph
+
     def test_set_positions_empty_is_a_no_op(self):
         sim, network = build_network({"a": (0, 0)})
         before = network.topology_generation
@@ -390,14 +416,39 @@ class TestCustomRadioContract:
 class TestVectorizedToggle:
     def test_disabling_drops_linkstate_maintenance(self):
         sim, network = build_network({"a": (0, 0), "b": (5, 0)})
-        network.broadcast("a", "x")  # builds the link-state cache
-        assert network._linkstate is not None
+        network.broadcast("a", "x")  # builds the (array) link-state cache
+        assert network._array_ls is not None
         network.vectorized_delivery = False
-        assert network._linkstate is None  # scan path pays zero maintenance
+        # scan path pays zero maintenance on either backend
+        assert network._array_ls is None and network._linkstate is None
         network.set_position("a", (1, 0))  # must not touch a dead cache
         assert network.neighbors_of("a") == {"b"}
         network.vectorized_delivery = True
         assert network.broadcast("a", "y") == 1  # rebuilt on demand
+
+    def test_disabling_drops_dict_linkstate_too(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.array_state = False
+        network.broadcast("a", "x")  # builds the dict link-state cache
+        assert network._linkstate is not None
+        network.vectorized_delivery = False
+        assert network._linkstate is None
+        network.set_position("a", (1, 0))
+        assert network.neighbors_of("a") == {"b"}
+        network.vectorized_delivery = True
+        assert network.broadcast("a", "y") == 1
+
+    def test_disabling_array_state_falls_back_to_dict_cache(self):
+        sim, network = build_network({"a": (0, 0), "b": (5, 0)})
+        network.broadcast("a", "x")
+        assert network._array_ls is not None
+        network.array_state = False
+        assert network._array_ls is None and network._store is None
+        assert network.broadcast("a", "y") == 1  # dict cache built on demand
+        assert network._linkstate is not None
+        network.array_state = True  # store rebuilt from the node table
+        assert network.neighbors_of("a") == {"b"}
+        assert network._store is not None
 
 
 class TestInPlaceMobilityModels:
@@ -429,9 +480,9 @@ class TestInPlaceMobilityModels:
     def test_disabling_spatial_index_also_drops_linkstate(self):
         sim, network = build_network({"a": (0, 0), "b": (5, 0)})
         network.broadcast("a", "x")
-        assert network._linkstate is not None
+        assert network._array_ls is not None
         network.use_spatial_index = False
-        assert network._linkstate is None
+        assert network._array_ls is None and network._linkstate is None
         network.set_position("a", (1, 0))  # brute baseline: no upkeep
         assert network.neighbors_of("a") == {"b"}
         network.use_spatial_index = True

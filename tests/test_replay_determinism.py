@@ -3,8 +3,10 @@
 The spatial index and the vectorized delivery pipeline (link-state receiver
 lists + batched channel decisions + bulk scheduling) are pure query/dispatch
 optimizations: a seeded run must unfold *identically* whether neighbour
-queries go through the grid or the brute-force scan, and whether broadcasts
-take the batched fast path or the per-receiver loop.  These tests run a
+queries go through the grid or the brute-force scan, whether broadcasts
+take the batched fast path or the per-receiver loop, and whether the state
+behind them is the contiguous array store (SoA positions + CSR link-state)
+or the dict-based incremental cache.  These tests run a
 500-node mobile lossy GRP deployment once per backend combination and require
 bit-identical event counts, message counters, group assignments, topology
 edges and metric reports across all of them (plus a same-seed rerun).
@@ -27,22 +29,30 @@ N = 500
 DURATION = 3.0
 SEED = 2024
 
-#: (use_spatial_index, vectorized_delivery) backend combinations.  The
-#: vectorized pipeline sits on top of the index, so (False, True) degrades to
-#: the scan path — included to prove the degradation is seamless.
+#: (use_spatial_index, vectorized_delivery, array_state) backend combinations.
+#: The vectorized pipeline sits on top of the index, so (False, True, *)
+#: degrades to the scan path — included to prove the degradation is seamless.
+#: The array axis pins the SoA/CSR backend against the dict-based incremental
+#: cache (and against the scalar scan) on the same seeds: the reference
+#: combination serves receiver batches from :class:`ArrayLinkState`, the
+#: ``dictstate`` one from :class:`LinkStateCache`, and both must replay
+#: bit-identically.
 BACKENDS = {
-    "indexed+vectorized": (True, True),
-    "indexed+scalar": (True, False),
-    "brute+scalar": (False, False),
-    "brute+vectorized-degraded": (False, True),
+    "indexed+vectorized": (True, True, True),
+    "indexed+vectorized+dictstate": (True, True, False),
+    "indexed+scalar": (True, False, True),
+    "indexed+scalar+dictstate": (True, False, False),
+    "brute+scalar": (False, False, False),
+    "brute+vectorized-degraded": (False, True, True),
 }
 
 
-def run_once(use_spatial_index, vectorized_delivery):
+def run_once(use_spatial_index, vectorized_delivery, array_state=True):
     deployment = manet_waypoint(n=N, area=1500.0, radio_range=100.0, dmax=3,
                                 speed=10.0, seed=SEED, loss_probability=0.05)
     deployment.network.use_spatial_index = use_spatial_index
     deployment.network.vectorized_delivery = vectorized_delivery
+    deployment.network.array_state = array_state
     churn = ChurnSchedule([ChurnEvent(time=1.0, node_id=i, active=False) for i in range(25)]
                           + [ChurnEvent(time=2.0, node_id=i, active=True) for i in range(25)])
     churn.install(deployment.network)
@@ -73,7 +83,7 @@ def test_backends_replay_identically(runs, backend):
 
 
 def test_rerun_with_same_seed_is_identical(runs):
-    assert run_once(True, True) == runs["indexed+vectorized"]
+    assert run_once(True, True, True) == runs["indexed+vectorized"]
 
 
 def test_views_cover_all_active_nodes(runs):
@@ -91,11 +101,12 @@ TRAFFIC_N = 200
 TRAFFIC_DURATION = 8.0
 
 
-def run_traffic_once(use_spatial_index, vectorized_delivery):
+def run_traffic_once(use_spatial_index, vectorized_delivery, array_state=True):
     deployment = manet_waypoint(n=TRAFFIC_N, area=900.0, radio_range=100.0, dmax=3,
                                 speed=10.0, seed=SEED, loss_probability=0.05)
     deployment.network.use_spatial_index = use_spatial_index
     deployment.network.vectorized_delivery = vectorized_delivery
+    deployment.network.array_state = array_state
     driver = attach_traffic(
         deployment, TrafficSpec.create("request_reply", interval=1.0), seed=SEED)
     churn = ChurnSchedule([ChurnEvent(time=1.0, node_id=i, active=False)
@@ -134,7 +145,7 @@ def test_traffic_backends_replay_identically(traffic_runs, backend):
 
 
 def test_traffic_rerun_with_same_seed_is_identical(traffic_runs):
-    assert run_traffic_once(True, True) == traffic_runs["indexed+vectorized"]
+    assert run_traffic_once(True, True, True) == traffic_runs["indexed+vectorized"]
 
 
 def test_traffic_actually_flowed(traffic_runs):

@@ -347,3 +347,81 @@ class TestSnapshotCache:
         radio.set_range("a", 5.0)
         net.invalidate_topology()
         assert net.neighbors_of("a") == set()
+
+
+# ---------------------------------------------------- vectorized query filter
+
+
+class TestVectorizedQueryFilter:
+    """query_ball's dense-candidate path must match the scalar loop exactly.
+
+    Above ``_VECTOR_MIN_CANDIDATES`` harvested candidates the filter runs on
+    numpy squared distances with a guard-band re-check; these tests force both
+    branches over the same geometry — including coincident points, nodes
+    exactly at range and exact cell-edge placements — and require identical
+    results.
+    """
+
+    def scalar_reference(self, positions, q, r):
+        return [n for n, p in positions.items()
+                if math.hypot(p[0] - q[0], p[1] - q[1]) <= r]
+
+    def test_dense_query_matches_brute_force(self):
+        rng = np.random.default_rng(42)
+        index = UniformGridIndex(25.0)
+        positions = {}
+        for i, (x, y) in enumerate(rng.uniform(0, 200, size=(300, 2))):
+            positions[i] = (float(x), float(y))
+            index.insert(i, positions[i])
+        for q in [(100.0, 100.0), (0.0, 0.0), (199.0, 3.0)]:
+            for r in [30.0, 75.0, 250.0]:
+                got = index.query_ball(q, r)
+                assert sorted(got) == sorted(self.scalar_reference(positions, q, r))
+                # Candidate harvesting preserves cell-scan order either way.
+                assert got == [n for n in got]
+
+    def test_coincident_points_all_found(self):
+        # 100 nodes on the same point exceed the vectorization threshold in a
+        # single cell; a zero-radius query must return every one of them.
+        index = UniformGridIndex(10.0)
+        for i in range(100):
+            index.insert(i, (5.0, 5.0))
+        assert sorted(index.query_ball((5.0, 5.0), 0.0)) == list(range(100))
+        assert sorted(index.query_ball((5.0, 5.0), 1.0)) == list(range(100))
+        assert index.query_ball((5.01, 5.0), 0.0) == []
+
+    def test_exactly_at_range_is_inclusive_in_both_branches(self):
+        # A ring of nodes exactly at distance r: the inclusive d <= r
+        # comparison must keep them all, whether the filter runs scalar
+        # (few candidates) or vectorized (many).
+        r = 50.0
+        center = (500.0, 500.0)
+        for n in (8, 200):  # below and above the vectorization threshold
+            index = UniformGridIndex(50.0)
+            expected = []
+            for i in range(n):
+                angle = 2.0 * math.pi * i / n
+                x = center[0] + r * math.cos(angle)
+                y = center[1] + r * math.sin(angle)
+                if math.hypot(x - center[0], y - center[1]) <= r:
+                    expected.append(i)
+                index.insert(i, (x, y))
+            got = index.query_ball(center, r)
+            assert sorted(got) == expected
+
+    def test_cell_edge_placements_dense(self):
+        # Nodes on exact multiples of the cell size, enough of them to force
+        # the vectorized branch: membership is single-cell, queries from both
+        # sides of each edge agree with brute force.
+        index = UniformGridIndex(10.0)
+        positions = {}
+        i = 0
+        for gx in range(10):
+            for gy in range(10):
+                positions[i] = (gx * 10.0, gy * 10.0)
+                index.insert(i, positions[i])
+                i += 1
+        for q in [(0.0, 0.0), (50.0, 50.0), (49.999, 50.0), (90.0, 90.0)]:
+            for r in [10.0, 14.142135623730951, 30.0]:
+                got = index.query_ball(q, r)
+                assert sorted(got) == sorted(self.scalar_reference(positions, q, r))

@@ -153,6 +153,42 @@ class TestDeliveryLedger:
         assert totals["delivery_ratio"] is None
         assert totals["latency_mean"] is None
 
+    def test_percentile_single_sample_any_fraction(self):
+        # Nearest-rank edge case: one sample is every percentile of itself,
+        # and fractions at or beyond 1.0 must clamp to the maximum instead of
+        # indexing past the end of the list.
+        from repro.traffic.ledger import _percentile
+        for fraction in (0.0, 0.5, 0.95, 1.0, 1.5):
+            assert _percentile([0.42], fraction) == 0.42
+        assert _percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+        assert _percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+        assert _percentile([1.0, 2.0, 3.0], 2.0) == 3.0
+
+    def test_single_delivery_latency_percentiles(self):
+        ledger = DeliveryLedger()
+        msg = _msg("a", 1, 0.0, {"a", "b"})
+        ledger.record_send(msg)
+        ledger.record_delivery("b", msg, 0.25)
+        totals = ledger.totals(duration=1.0)
+        assert totals["latency_p95"] == 0.25
+        assert totals["latency_max"] == 0.25
+
+    def test_totals_zero_duration_no_division(self):
+        # duration=0.0 is a legitimate window (an instantaneous snapshot);
+        # the rate columns degrade to None instead of dividing by zero.
+        ledger = DeliveryLedger()
+        msg = _msg("a", 1, 0.0, {"a", "b"})
+        ledger.record_send(msg)
+        ledger.record_delivery("b", msg, 0.0)
+        totals = ledger.totals(duration=0.0)
+        assert totals["goodput_msgs_per_s"] is None
+        assert totals["goodput_bytes_per_s"] is None
+        assert totals["delivered"] == 1
+        # Same degradation when all events share one instant and the window
+        # falls back to the (zero-width) observed span.
+        assert ledger.observed_span() == 0.0
+        assert ledger.totals()["goodput_msgs_per_s"] is None
+
 
 # ------------------------------------------------- live deployments, replay
 
