@@ -1,0 +1,77 @@
+"""Shared ``--json`` emitter for the CLI benchmarks.
+
+Every benchmark that supports ``--json PATH`` writes the same envelope::
+
+    {
+      "schema": "bench-emit/v1",
+      "bench":  str,        # short benchmark name ("delivery", "traffic", ...)
+      "quick":  bool,       # CI smoke mode vs full mode
+      "rows": [             # the tracked measurements, flat and uniform
+        {
+          "name":      str,         # stable measurement identifier
+          "value":     int | float,
+          "unit":      str,         # "x", "msg/s", "s", ...
+          "budget":    null | num,  # acceptance bound, None = untracked
+          "direction": "min"|"max"  # "min": value must be >= budget;
+                                    # "max": value must be <= budget
+        }, ...
+      ],
+      "meta": {...}         # benchmark-specific extras (tables, params);
+                            # bench_delivery/bench_traffic keep their legacy
+                            # top-level payloads here so old consumers keep
+                            # parsing after a one-key hop
+    }
+
+``scripts/perf_trajectory.py`` folds these envelopes (and the pre-v1 legacy
+payloads) into ``PERF_TRAJECTORY.md``.  Keeping the envelope uniform means
+the trajectory report never needs per-benchmark parsing for new benches.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+SCHEMA = "bench-emit/v1"
+
+
+def row(name: str, value: float, unit: str, budget: Optional[float] = None,
+        direction: str = "min") -> Dict[str, object]:
+    """One tracked measurement row of the bench-emit/v1 envelope."""
+    if direction not in ("min", "max"):
+        raise ValueError(f"direction must be 'min' or 'max', got {direction!r}")
+    return {"name": str(name), "value": value, "unit": str(unit),
+            "budget": budget, "direction": direction}
+
+
+def violations(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Rows whose value breaks their budget (rows without a budget pass)."""
+    failed = []
+    for entry in rows:
+        budget = entry.get("budget")
+        if budget is None:
+            continue
+        value = entry["value"]
+        if entry.get("direction", "min") == "min":
+            ok = value >= budget
+        else:
+            ok = value <= budget
+        if not ok:
+            failed.append(entry)
+    return failed
+
+
+def emit(path: str, bench: str, quick: bool, rows: List[Dict[str, object]],
+         meta: Optional[Dict[str, object]] = None) -> None:
+    """Write one bench-emit/v1 envelope to ``path`` and announce it."""
+    payload = {
+        "schema": SCHEMA,
+        "bench": str(bench),
+        "quick": bool(quick),
+        "rows": list(rows),
+        "meta": meta or {},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path}")

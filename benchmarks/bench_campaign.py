@@ -18,6 +18,8 @@ import argparse
 import os
 import time
 
+import _emit
+
 from repro.campaign import CampaignSpec, run_campaign
 from repro.metrics.report import print_table
 
@@ -35,6 +37,9 @@ def main() -> int:
                         help="smaller grid for CI smoke runs")
     parser.add_argument("--jobs", type=int, nargs="*", default=None,
                         help="worker counts to benchmark (default: 1 2 4)")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="also write a bench-emit/v1 envelope "
+                             "(see benchmarks/_emit.py)")
     args = parser.parse_args()
 
     if args.quick:
@@ -68,6 +73,19 @@ def main() -> int:
     print_table(rows, title="campaign worker-pool scaling (serial reference = 1 job)")
 
     four = next((row for row in rows if row["jobs"] == 4), None)
+
+    if args.json:
+        # The 2x budget is only enforceable with >= 4 cores; below that the
+        # speedup is physically capped, so the row is emitted untracked.
+        emit_rows = [_emit.row(f"tasks_per_s_{r['jobs']}j", r["tasks/s"],
+                               "tasks/s") for r in rows]
+        if four is not None:
+            emit_rows.insert(0, _emit.row(
+                "pool_speedup_4_workers", four["speedup"], "x",
+                budget=2.0 if cores >= 4 else None))
+        _emit.emit(args.json, bench="campaign", quick=args.quick,
+                   rows=emit_rows, meta={"cores": cores, "rows": rows})
+
     if four is not None:
         print(f"\nspeedup at 4 workers: {four['speedup']}x (target >= 2x)")
         if four["speedup"] < 2.0:

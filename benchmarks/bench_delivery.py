@@ -25,8 +25,9 @@ same density (the scan path is O(n) per broadcast and would take minutes
 there): the row must finish well inside a 60 s wall-clock budget.
 
 Run with ``PYTHONPATH=src python benchmarks/bench_delivery.py``; ``--quick``
-shrinks the scenarios for CI smoke runs, ``--json PATH`` writes the rows
-(plus the headline ratios) as JSON for artifact tracking, and
+shrinks the scenarios for CI smoke runs, ``--json PATH`` writes a
+``bench-emit/v1`` envelope (see ``benchmarks/_emit.py``; the legacy payload
+rides in its ``meta`` key) for artifact tracking, and
 ``--dict-state`` swaps the vectorized side onto the dict-based link-state
 cache to cross-check the array backend (on by default).  Full-mode targets:
 >= 6x broadcast-step throughput on the lossy dense mobile field (measured
@@ -37,10 +38,11 @@ subset, and the 10k-node row under budget.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import time
 from typing import Dict, List, Tuple
+
+import _emit
 
 from repro.metrics.report import print_table
 from repro.mobility.random_waypoint import RandomWaypointMobility
@@ -278,18 +280,30 @@ def main() -> int:
               f"(budget {scale['budget_s']}s)")
 
     if args.json:
-        payload = {
-            "quick": args.quick,
-            "state_backend": backend,
-            "broadcast": bcast,
-            "refresh": refresh,
-            "scale": scale,
-            "headline_broadcast_speedup": bcast_headline,
-            "headline_refresh_speedup": refresh_headline,
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"wrote {args.json}")
+        rows = [
+            _emit.row("broadcast_speedup_lossy", bcast_headline, "x",
+                      budget=bcast_target),
+            _emit.row("refresh_speedup_10pct_movers", refresh_headline, "x",
+                      budget=refresh_target),
+        ]
+        rows += [_emit.row(f"broadcast_per_s_{r['scenario'].split('/ ')[-1]}",
+                           r["vectorized bcast/s"], "bcast/s") for r in bcast]
+        if scale is not None:
+            rows.append(_emit.row("scale_10k_wall", scale["wall_s"], "s",
+                                  budget=scale["budget_s"], direction="max"))
+            rows.append(_emit.row("scale_10k_broadcast_per_s",
+                                  scale["bcast/s"], "bcast/s"))
+        # The legacy payload rides in meta so pre-v1 consumers keep parsing
+        # (perf_trajectory.py reads both shapes).
+        _emit.emit(args.json, bench="delivery", quick=args.quick, rows=rows,
+                   meta={
+                       "state_backend": backend,
+                       "broadcast": bcast,
+                       "refresh": refresh,
+                       "scale": scale,
+                       "headline_broadcast_speedup": bcast_headline,
+                       "headline_refresh_speedup": refresh_headline,
+                   })
 
     status = 0
     if bcast_headline < bcast_target:

@@ -19,6 +19,8 @@ import argparse
 import time
 from typing import Dict, Tuple
 
+import _emit
+
 from repro.metrics.report import print_table
 from repro.net.geometry import random_positions
 from repro.net.network import Network
@@ -102,6 +104,9 @@ def main() -> int:
                         help="small scenarios for CI smoke runs")
     parser.add_argument("--rounds", type=int, default=None,
                         help="all-node broadcast sweeps per scenario")
+    parser.add_argument("--json", type=str, default=None, metavar="PATH",
+                        help="also write a bench-emit/v1 envelope "
+                             "(see benchmarks/_emit.py)")
     args = parser.parse_args()
 
     if args.quick:
@@ -124,6 +129,15 @@ def main() -> int:
     headline = rows[0]["speedup"]
     target = 2.0 if args.quick else 5.0
     print(f"\nheadline broadcast speedup: {headline}x (target >= {target}x)")
+
+    if args.json:
+        emit_rows = [_emit.row("index_speedup_dense", headline, "x",
+                               budget=target)]
+        emit_rows += [_emit.row(f"indexed_broadcast_per_s_{r['scenario']}",
+                                r["indexed bcast/s"], "bcast/s") for r in rows]
+        _emit.emit(args.json, bench="spatial_index", quick=args.quick,
+                   rows=emit_rows, meta={"rows": rows})
+
     if headline < target:
         print("WARNING: spatial index below target speedup")
         return 1

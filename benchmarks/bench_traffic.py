@@ -16,8 +16,9 @@ The ledgers of both runs must agree bit-exactly (sends, receptions, per-group
 rows) — the benchmark asserts it, making every CI run a determinism check.
 
 Run with ``PYTHONPATH=src python benchmarks/bench_traffic.py``; ``--quick``
-shrinks the field for CI smoke runs and ``--json PATH`` writes the rows plus
-the headline throughput as JSON for artifact tracking.  Full-mode target:
+shrinks the field for CI smoke runs and ``--json PATH`` writes a
+``bench-emit/v1`` envelope (see ``benchmarks/_emit.py``; the legacy payload
+rides in its ``meta`` key) for artifact tracking.  Full-mode target:
 >= 50k delivered application messages per second on the 1000-node dense
 field with the vectorized pipeline on.
 """
@@ -25,10 +26,11 @@ field with the vectorized pipeline on.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import time
 from typing import Dict, List, Tuple
+
+import _emit
 
 from repro.metrics.report import print_table
 from repro.mobility.random_waypoint import RandomWaypointMobility
@@ -160,16 +162,20 @@ def main() -> int:
           f"(target >= {target} msg/s, {'quick' if args.quick else 'full'} mode)")
 
     if args.json:
-        payload = {
-            "quick": args.quick,
-            "nodes": n,
-            "rows": rows,
-            "headline_app_msgs_per_s": headline,
-            "target_app_msgs_per_s": target,
-        }
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-        print(f"wrote {args.json}")
+        emit_rows = [_emit.row("app_throughput", headline, "msg/s",
+                               budget=target)]
+        emit_rows += [_emit.row(f"app_throughput_{r['workload']}",
+                                r["vectorized msg/s"], "msg/s") for r in rows]
+        # Legacy payload in meta: pre-v1 consumers keep parsing after a
+        # one-key hop (perf_trajectory.py reads both shapes).
+        _emit.emit(args.json, bench="traffic", quick=args.quick,
+                   rows=emit_rows,
+                   meta={
+                       "nodes": n,
+                       "rows": rows,
+                       "headline_app_msgs_per_s": headline,
+                       "target_app_msgs_per_s": target,
+                   })
 
     if headline < target:
         print("WARNING: traffic subsystem below target application throughput")

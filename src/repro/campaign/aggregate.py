@@ -82,6 +82,42 @@ def aggregate_metrics(rows: Sequence[Mapping[str, object]],
     return aggregated
 
 
+def _obs_note(outcomes: Sequence[object]) -> "str | None":
+    """One ``note: obs:`` line summarizing the outcomes' obs blobs.
+
+    Surfaces the headline observability columns — events/s, deliveries/s,
+    p95 CSR-rebuild wall time, peak heap — as replicate means.  Everything
+    here depends on wall clock, so the line carries the ``note: obs:``
+    prefix that :func:`deterministic_report` strips (like wall time).
+    """
+    pairs = [(o.obs, o.wall_time) for o in outcomes
+             if getattr(o, "obs", None) and o.wall_time > 0]
+    if not pairs:
+        return None
+    parts = []
+    for label, counter in (("events/s", "sim.events"),
+                           ("deliveries/s", "net.delivered")):
+        rates = [blob["counters"][counter] / wall for blob, wall in pairs
+                 if counter in blob.get("counters", {})]
+        if rates:
+            parts.append(f"{label} {format_value(statistics.fmean(rates))}")
+    rebuilds = [blob["spans"]["topology.csr_rebuild"]["wall_ns_p95"]
+                for blob, _ in pairs
+                if blob.get("spans", {}).get("topology.csr_rebuild", {})
+                                        .get("wall_ns_p95") is not None]
+    if rebuilds:
+        parts.append(f"csr rebuild p95 "
+                     f"{format_value(statistics.fmean(rebuilds) / 1e6)}ms")
+    heaps = [blob["heap_peak_bytes"] for blob, _ in pairs
+             if blob.get("heap_peak_bytes") is not None]
+    if heaps:
+        parts.append(f"peak heap "
+                     f"{format_value(statistics.fmean(heaps) / 1e6)}MB")
+    if not parts:
+        return None
+    return "note: obs: " + ", ".join(parts)
+
+
 def campaign_report(result: CampaignResult) -> str:
     """Render the full campaign report.
 
@@ -136,6 +172,9 @@ def campaign_report(result: CampaignResult) -> str:
                 if wall is not None:
                     parts.append(f"note: wall time per replicate: "
                                  f"{format_value(wall.mean)} ± {format_value(wall.std)}s")
+                obs_note = _obs_note(outcomes)
+                if obs_note is not None:
+                    parts.append(obs_note)
                 for note in outcomes[0].notes:
                     parts.append(f"note: {note}")
                 blocks.append("\n".join(parts))
@@ -143,12 +182,14 @@ def campaign_report(result: CampaignResult) -> str:
 
 
 def deterministic_report(result: CampaignResult) -> str:
-    """:func:`campaign_report` minus the wall-time notes.
+    """:func:`campaign_report` minus the wall-clock-dependent notes.
 
-    Wall times are the only backend-dependent field, so this rendering must be
-    byte-identical between serial and parallel executions of the same spec —
-    the equality the tier-1 tests enforce.
+    Wall times — and the obs summary lines computed from them — are the only
+    backend-dependent fields, so this rendering must be byte-identical
+    between serial and parallel executions of the same spec — the equality
+    the tier-1 tests enforce.
     """
     lines = [line for line in campaign_report(result).splitlines()
-             if not line.startswith("note: wall time per replicate:")]
+             if not (line.startswith("note: wall time per replicate:")
+                     or line.startswith("note: obs: "))]
     return "\n".join(lines)

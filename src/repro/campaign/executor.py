@@ -28,8 +28,10 @@ succeeds is bit-identical to a first attempt that succeeded.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import multiprocessing
+import os
 import signal
 import threading
 import time
@@ -70,6 +72,8 @@ class TaskOutcome:
     traffic: Optional[Dict[str, object]] = None
     #: Attempts the task consumed (> 1 means at least one retry fired).
     attempts: int = 1
+    #: ``ObsContext.export()`` blob of the run (``None`` without ``obs``).
+    obs: Optional[Dict[str, object]] = None
 
     @functools.cached_property
     def scenario_label(self) -> Optional[str]:
@@ -95,7 +99,7 @@ class TaskOutcome:
             replicate=self.replicate, seed=self.seed, quick=self.quick,
             description=self.description, wall_time=self.wall_time,
             rows=self.rows, notes=self.notes, scenario=self.scenario,
-            traffic=self.traffic, attempts=self.attempts)
+            traffic=self.traffic, attempts=self.attempts, obs=self.obs)
 
 
 def _outcome_from_record(record: TaskRecord) -> TaskOutcome:
@@ -105,7 +109,7 @@ def _outcome_from_record(record: TaskRecord) -> TaskOutcome:
         description=record.description, wall_time=record.wall_time,
         rows=record.rows, notes=record.notes, from_store=True,
         scenario=record.scenario, traffic=record.traffic,
-        attempts=record.attempts)
+        attempts=record.attempts, obs=record.obs)
 
 
 class _attempt_deadline:
@@ -182,7 +186,10 @@ def _failure_outcome(task: CampaignTask, error: BaseException,
 def execute_task(task: CampaignTask,
                  max_trace_records: Optional[int] = None,
                  timeout: Optional[float] = None,
-                 retries: int = 0) -> TaskOutcome:
+                 retries: int = 0,
+                 obs: bool = False,
+                 obs_heap: bool = False,
+                 profile_dir: Optional[str] = None) -> TaskOutcome:
     """Run one task in the current process and return its outcome.
 
     This is the unit of work both backends share; it is a module-level
@@ -191,9 +198,16 @@ def execute_task(task: CampaignTask,
     attempts are all lost to crashes or timeouts resolves to a structured
     failure outcome instead of propagating (``KeyboardInterrupt`` and friends
     still propagate).
+
+    ``obs`` collects a fresh :class:`repro.obs.ObsContext` around each
+    attempt (installed process-locally, so pool workers observe only their
+    own task) and attaches the export blob of the successful attempt to the
+    outcome.  ``profile_dir`` dumps a cProfile ``<task_id>.prof`` per task;
+    both are runtime observation and never change metric rows.
     """
     # Imported lazily: the experiment suite sits above the campaign layer.
     from repro.experiments.suite import ALL_EXPERIMENTS, run_experiment
+    from repro.obs import ObsContext, observing, profiling
     from repro.sim.trace import TraceRecorder
 
     if task.experiment.upper() not in ALL_EXPERIMENTS:
@@ -201,6 +215,11 @@ def execute_task(task: CampaignTask,
         # propagate instead of burning retries on every replicate.
         raise KeyError(f"unknown experiment {task.experiment!r}; "
                        f"valid: {sorted(ALL_EXPERIMENTS)}")
+    profile_path = None
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
+        profile_path = os.path.join(profile_dir,
+                                    task.task_id.replace("/", "_") + ".prof")
     start = time.perf_counter()
     attempts = 1 + max(0, retries)
     last_error: Optional[Exception] = None
@@ -208,9 +227,13 @@ def execute_task(task: CampaignTask,
         previous_cap = TraceRecorder.default_max_records
         TraceRecorder.default_max_records = max_trace_records
         result = None
+        # A fresh context per attempt: a retried attempt must not inherit the
+        # half-collected metrics of the crashed one.
+        ctx = ObsContext(track_heap=obs_heap) if obs else None
+        obs_scope = observing(ctx) if ctx is not None else contextlib.nullcontext()
         try:
             attempt_start = time.perf_counter()
-            with _attempt_deadline(timeout):
+            with _attempt_deadline(timeout), profiling(profile_path), obs_scope:
                 result = run_experiment(task.experiment, quick=task.quick,
                                         seed=task.seed, scenario=task.scenario,
                                         traffic=task.traffic)
@@ -232,7 +255,8 @@ def execute_task(task: CampaignTask,
             wall_time=wall_time, rows=result.rows, notes=result.notes,
             scenario=None if task.scenario is None else task.scenario.as_dict(),
             traffic=None if task.traffic is None else task.traffic.as_dict(),
-            attempts=attempt)
+            attempts=attempt,
+            obs=None if ctx is None else ctx.export())
     return _failure_outcome(task, last_error, attempts, time.perf_counter() - start)
 
 
@@ -263,7 +287,8 @@ class CampaignResult:
 def run_campaign(spec: CampaignSpec,
                  store: Optional[ResultStore] = None,
                  jobs: int = 1,
-                 progress: Optional[Callable[[TaskOutcome], None]] = None) -> CampaignResult:
+                 progress: Optional[Callable[[TaskOutcome], None]] = None,
+                 profile_dir: Optional[str] = None) -> CampaignResult:
     """Execute ``spec``, resuming from ``store`` when one is given.
 
     Tasks already recorded in the store (matched by spec hash + task id) are
@@ -276,6 +301,11 @@ def run_campaign(spec: CampaignSpec,
     ``progress`` is invoked once per completed task on both backends — first
     for every store-replayed outcome (``from_store=True``), then for each
     fresh outcome as its worker finishes.
+
+    ``profile_dir`` enables per-task cProfile dumps (one ``.prof`` per task,
+    written by whichever process ran it).  It is a runtime argument, not a
+    spec field: profiling changes no stored result, so profiled and
+    unprofiled runs share the same spec hash and resume each other.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -299,7 +329,9 @@ def run_campaign(spec: CampaignSpec,
             progress(outcome)
 
     worker = functools.partial(execute_task, max_trace_records=spec.max_trace_records,
-                               timeout=spec.task_timeout, retries=spec.task_retries)
+                               timeout=spec.task_timeout, retries=spec.task_retries,
+                               obs=spec.obs, obs_heap=spec.obs_heap,
+                               profile_dir=profile_dir)
     if jobs > 1 and len(pending) > 1:
         with multiprocessing.Pool(processes=min(jobs, len(pending))) as pool:
             for outcome in pool.imap_unordered(worker, pending):

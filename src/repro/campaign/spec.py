@@ -104,6 +104,16 @@ class CampaignSpec:
         Extra attempts after a failed (crashed or timed-out) first attempt.
         A task that exhausts ``1 + task_retries`` attempts records a
         structured failure row instead of killing the campaign.
+    obs:
+        Collect runtime observability (metrics + spans, see
+        :mod:`repro.obs`) around every task and persist the export blob in
+        each :class:`~repro.campaign.store.TaskRecord`.  Off by default; the
+        obs layer never consumes RNG or reorders events, so results are
+        bit-identical either way — but the blobs change the stored records,
+        so the flag participates in the spec hash when set.
+    obs_heap:
+        Additionally track peak heap per task via :mod:`tracemalloc`
+        (noticeably slower; implies nothing unless ``obs`` is on).
     """
 
     name: str
@@ -116,6 +126,8 @@ class CampaignSpec:
     task_timeout: Optional[float] = None
     task_retries: int = 0
     traffics: Tuple[TrafficSpec, ...] = field(default=())
+    obs: bool = False
+    obs_heap: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "experiments",
@@ -185,6 +197,13 @@ class CampaignSpec:
         # campaigns keep their pre-axis spec hash and stores keep resuming.
         if self.traffics:
             data["traffics"] = [spec.as_dict() for spec in self.traffics]
+        # Omitted when off (the pre-obs hash), present when on: obs blobs
+        # change the stored records, so observed and unobserved campaigns
+        # must not share a result namespace.
+        if self.obs:
+            data["obs"] = True
+            if self.obs_heap:
+                data["obs_heap"] = True
         return data
 
     def spec_hash(self) -> str:

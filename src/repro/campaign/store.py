@@ -17,7 +17,9 @@ One line per completed task.  Record schema (all keys always present)::
       "wall_time":  float, # seconds spent executing the task
       "rows":       [ {column: value, ...}, ... ],   # metric rows
       "notes":      [ str, ... ],
-      "attempts":   int    # attempts the task consumed (optional, default 1)
+      "attempts":   int,   # attempts the task consumed (optional, default 1)
+      "obs":        null | {...}  # ObsContext.export() blob (optional:
+                           # present only for campaigns run with obs=True)
     }
 
 Append-only semantics make the store crash-safe: a run killed mid-task loses
@@ -71,6 +73,10 @@ class TaskRecord:
     #: How many attempts the task consumed (1 = first attempt succeeded);
     #: the CLI's final campaign summary counts retried tasks from it.
     attempts: int = 1
+    #: ``ObsContext.export()`` blob of the task run (counters, gauges,
+    #: histograms, span aggregates), or ``None`` when the campaign ran
+    #: without observability.
+    obs: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -117,12 +123,14 @@ class ResultStore:
                     continue
                 if spec_hash is not None and data["spec_hash"] != spec_hash:
                     continue
-                # "scenario", "traffic" and "attempts" are optional so stores
-                # written before those fields existed keep loading (their
-                # records default to the axis-less cell / a single attempt).
+                # "scenario", "traffic", "attempts" and "obs" are optional so
+                # stores written before those fields existed keep loading
+                # (records default to the axis-less cell / single attempt /
+                # no observability).
                 records.append(TaskRecord(scenario=data.get("scenario"),
                                           traffic=data.get("traffic"),
                                           attempts=int(data.get("attempts", 1)),
+                                          obs=data.get("obs"),
                                           **{k: data[k] for k in self.REQUIRED_KEYS}))
         return records
 

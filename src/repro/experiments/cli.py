@@ -56,6 +56,16 @@ the spec hash and the per-task seed derivation, and the report renders one
 block per {experiment x scenario x traffic} cell.  Campaigns without traffic
 flags keep their pre-axis task ids, seeds and hashes.
 
+*Observability.*  ``--obs`` (or ``--obs-out PATH``, which implies it)
+collects runtime metrics + sim-time-correlated spans (:mod:`repro.obs`)
+around every run: single runs print a one-line counter digest to stderr and
+export a ``repro-obs/v1`` JSONL file to ``--obs-out``; campaigns persist
+each task's export blob in its store record and write per-task export lines
+to ``--obs-out``.  ``--obs-heap`` adds tracemalloc peak-heap tracking
+(slower); ``--profile DIR`` dumps one cProfile file per run/task.  None of
+these change the stdout report or any simulation result — the obs layer
+never consumes RNG and never reorders events.
+
 After a campaign, one final summary line goes to stderr —
 ``campaign summary: N tasks (X executed, Y resumed, F failed, R retried)`` —
 so scripts see failure/retry counts without parsing the report.
@@ -161,6 +171,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list-traffic", action="store_true",
                         help="List registered traffic patterns with their parameter "
                              "schemas.")
+    parser.add_argument("--obs", action="store_true",
+                        help="Collect runtime observability (per-subsystem metrics and "
+                             "sim-time-correlated spans, see repro.obs) around every run; "
+                             "results are bit-identical either way.  In campaign mode the "
+                             "export blob is persisted per task record.")
+    parser.add_argument("--obs-out", type=str, default=None, metavar="PATH",
+                        help="Write the collected metrics as JSON lines to PATH "
+                             "(implies --obs).")
+    parser.add_argument("--obs-heap", action="store_true",
+                        help="Also track peak heap via tracemalloc (noticeably slower; "
+                             "requires --obs/--obs-out).")
+    parser.add_argument("--profile", type=str, default=None, metavar="DIR",
+                        help="Dump a cProfile .prof file per experiment run / campaign "
+                             "task into DIR.")
     return parser
 
 
@@ -237,12 +261,21 @@ def _traffic_variants(args: argparse.Namespace) -> Optional[List["object"]]:
 
 
 def _run(experiment_ids: List[str], quick: bool, seed: Optional[int],
-         scenario=None, traffic=None) -> List[ExperimentResult]:
+         scenario=None, traffic=None,
+         profile_dir: Optional[str] = None) -> List[ExperimentResult]:
+    from repro.obs import profiling
+
+    if profile_dir is not None:
+        import os
+        os.makedirs(profile_dir, exist_ok=True)
     results = []
     for experiment_id in experiment_ids:
         start = time.time()
-        result = run_experiment(experiment_id, quick=quick, seed=seed,
-                                scenario=scenario, traffic=traffic)
+        profile_path = (None if profile_dir is None
+                        else f"{profile_dir}/{experiment_id}.prof")
+        with profiling(profile_path):
+            result = run_experiment(experiment_id, quick=quick, seed=seed,
+                                    scenario=scenario, traffic=traffic)
         result.add_note(f"wall time: {time.time() - start:.1f}s")
         results.append(result)
     return results
@@ -263,7 +296,25 @@ def _campaign_spec(experiment_ids: List[str], args: argparse.Namespace, scenario
         task_timeout=args.task_timeout,
         task_retries=args.task_retries,
         traffics=tuple(traffics) if traffics else (),
+        obs=bool(args.obs or args.obs_out),
+        obs_heap=args.obs_heap,
     )
+
+
+def _write_campaign_obs(path: str, spec, result) -> None:
+    """Write per-task obs blobs as JSON lines (one meta line, one per task)."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"type": "meta", "schema": "repro-obs/v1",
+                                 "campaign": spec.name,
+                                 "spec_hash": spec.spec_hash()}) + "\n")
+        for outcome in result.outcomes:
+            if outcome.obs is not None:
+                handle.write(json.dumps({"type": "task",
+                                         "task_id": outcome.task_id,
+                                         "wall_time": outcome.wall_time,
+                                         "obs": outcome.obs}) + "\n")
 
 
 def _run_campaign(spec, args: argparse.Namespace) -> Tuple[str, int]:
@@ -282,7 +333,10 @@ def _run_campaign(spec, args: argparse.Namespace) -> Tuple[str, int]:
             print(f"[{done[0]}/{total}] {outcome.task_id} ({suffix})",
                   file=sys.stderr, flush=True)
 
-    result = run_campaign(spec, store=store, jobs=max(1, args.jobs), progress=progress)
+    result = run_campaign(spec, store=store, jobs=max(1, args.jobs), progress=progress,
+                          profile_dir=args.profile)
+    if args.obs_out:
+        _write_campaign_obs(args.obs_out, spec, result)
     failed = sum(1 for outcome in result.outcomes
                  if any(row.get("status") == "failed" for row in outcome.rows))
     retried = sum(1 for outcome in result.outcomes if outcome.attempts > 1)
@@ -341,9 +395,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             scenario = scenarios[0] if scenarios else None
             traffic = traffics[0] if traffics else None
-            results = _run(experiment_ids, quick=not args.full, seed=args.seed,
-                           scenario=scenario, traffic=traffic)
+            obs_ctx = None
+            if args.obs or args.obs_out:
+                from repro.obs import ObsContext, observing
+                with observing(ObsContext(track_heap=args.obs_heap)) as obs_ctx:
+                    results = _run(experiment_ids, quick=not args.full,
+                                   seed=args.seed, scenario=scenario,
+                                   traffic=traffic, profile_dir=args.profile)
+            else:
+                results = _run(experiment_ids, quick=not args.full, seed=args.seed,
+                               scenario=scenario, traffic=traffic,
+                               profile_dir=args.profile)
             report = "\n\n".join(result.to_text() for result in results)
+            if obs_ctx is not None:
+                if args.obs_out:
+                    obs_ctx.to_jsonl(args.obs_out,
+                                     meta={"experiments": experiment_ids,
+                                           "quick": not args.full,
+                                           "seed": args.seed})
+                # A one-line digest on stderr keeps the stdout report
+                # byte-identical to an unobserved run.
+                counters = obs_ctx.registry.as_dict()["counters"]
+                digest = ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+                print(f"obs: {digest or 'no counters recorded'}",
+                      file=sys.stderr, flush=True)
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
         return 2

@@ -49,9 +49,11 @@ produced the candidate list.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterator, List, Tuple
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Tuple
 
 import numpy as np
+
+from ..obs import current as _obs_current
 
 __all__ = ["NodeArrayStore", "ArrayLinkState", "HYPOT_GUARD_BAND"]
 
@@ -183,9 +185,18 @@ class ArrayLinkState:
     see module docstring), same insertion-order sorting of adjacency.
     """
 
-    def __init__(self, radius: float, store: NodeArrayStore):
+    def __init__(self, radius: float, store: NodeArrayStore,
+                 now_fn: Optional[Callable[[], float]] = None, obs=...):
         self.radius = float(radius)
         self.store = store
+        #: sim-clock reader for span correlation (the owning network passes
+        #: its simulator's ``now``); purely observational.
+        self._now_fn = now_fn
+        # The network builds this cache lazily, possibly mid-run; it passes
+        # its own captured context so the observation scope stays pinned at
+        # *network* construction time (Ellipsis = standalone use, capture the
+        # current context here).
+        self._obs = _obs_current() if obs is ... else obs
         self._dirty = True
         #: row count the current CSR was built for (guards stale row maps)
         self._built_n = 0
@@ -309,6 +320,8 @@ class ArrayLinkState:
         return keep
 
     def _rebuild(self) -> None:
+        obs = self._obs
+        t0 = obs.clock() if obs is not None else 0
         store = self.store
         n = store.n
         r = self.radius
@@ -343,6 +356,10 @@ class ArrayLinkState:
         self._m = m
         self._built_n = n
         self._dirty = False
+        if obs is not None:
+            now = self._now_fn() if self._now_fn is not None else 0.0
+            obs.record_span("topology.csr_rebuild", now, t0,
+                            {"nodes": n, "arcs": m})
 
     def _ensure(self) -> None:
         if self._dirty or self._built_n != self.store.n:

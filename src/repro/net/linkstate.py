@@ -42,6 +42,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Tuple
 
+from repro.obs import current as _obs_current
+
 from .radio import RadioModel
 from .spatialindex import UniformGridIndex
 
@@ -73,7 +75,7 @@ class LinkStateCache:
     def __init__(self, radius: float, radio: RadioModel,
                  positions: Mapping[Hashable, Tuple[float, float]],
                  order: Mapping[Hashable, int],
-                 index: UniformGridIndex):
+                 index: UniformGridIndex, obs=...):
         self.radius = float(radius)
         self.radio = radio
         self._positions = positions
@@ -92,6 +94,12 @@ class LinkStateCache:
         #: full cache replacement (mutation notify / max_range revalidation).
         self._uniform_radius = radio.uniform_link_radius()
         self._uniform = self._uniform_radius is not None
+        # Built lazily by the network, possibly mid-run: the owner passes its
+        # own captured context so observation scope stays pinned at network
+        # construction (Ellipsis = standalone use, capture the current one).
+        obs = _obs_current() if obs is ... else obs
+        self._obs_moves = obs.registry.counter("topology.patch_moves") if obs else None
+        self._obs_rebuilds = obs.registry.counter("topology.dict_rebuilds") if obs else None
         self.rebuild()
 
     # ------------------------------------------------------------ bookkeeping
@@ -104,6 +112,8 @@ class LinkStateCache:
 
     def rebuild(self) -> None:
         """Recompute every link from scratch (initial build / radio change)."""
+        if self._obs_rebuilds is not None:
+            self._obs_rebuilds.inc()
         self._out = {node: {} for node in self._positions}
         self._in = {node: {} for node in self._positions}
         self._sorted_out.clear()
@@ -187,6 +197,8 @@ class LinkStateCache:
         are harvested from the grid-cell neighbourhood of the *new* position —
         the only region that can hold a link in either direction.
         """
+        if self._obs_moves is not None:
+            self._obs_moves.inc()
         if self._uniform:
             # Symmetric links: the out- and in-sets coincide, one pass drops
             # both directions at every peer.

@@ -60,6 +60,7 @@ from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optio
 import networkx as nx
 import numpy as np
 
+from repro.obs import current as _obs_current
 from repro.sim.engine import Simulator
 from repro.sim.process import Process
 from repro.sim.trace import TraceRecorder
@@ -163,6 +164,13 @@ class Network:
         #: radio mutating it must invalidate_topology() (which refreshes it).
         self._det_vicinity = radio.deterministic_vicinity()
         radio.add_mutation_listener(self.invalidate_topology)
+        # Observability: captured once here; broadcast/delivery hot paths pay
+        # a single attribute test when disabled (same trick as is_app_payload).
+        obs = _obs_current()
+        self._obs = obs
+        self._obs_broadcasts = obs.registry.counter("net.broadcasts") if obs else None
+        self._obs_delivered = obs.registry.counter("net.delivered") if obs else None
+        self._obs_dropped = obs.registry.counter("net.dropped") if obs else None
 
     # ------------------------------------------------------------- topology
 
@@ -570,7 +578,9 @@ class Network:
             # uniform_link_radius) and keep the brute-force scan.
             if (radius is not None and radius > 0
                     and self.radio.max_range() is not None):
-                als = ArrayLinkState(radius, self._node_store())
+                als = ArrayLinkState(radius, self._node_store(),
+                                     now_fn=lambda: self.sim.now,
+                                     obs=self._obs)
                 self._array_ls = als
                 return als
             self._array_ls = None
@@ -592,7 +602,7 @@ class Network:
         radius = self.radio.max_range()
         if cache is None or cache.radius != radius or cache.index is not index:
             cache = LinkStateCache(radius, self.radio, self._positions,
-                                   self._order, index)
+                                   self._order, index, obs=self._obs)
             self._linkstate = cache
         return cache
 
@@ -617,6 +627,8 @@ class Network:
         if not sender_proc._active:
             return 0
         self.messages_sent += 1
+        if self._obs_broadcasts is not None:
+            self._obs_broadcasts.inc()
         if self.trace is not None:
             self.trace.record(self.sim.now, "send", sender=sender)
         linkstate = self._link_state() if self._det_vicinity else None
@@ -634,6 +646,8 @@ class Network:
             decision = self.channel.decide(sender, receiver, self.sim.now)
             if not decision.delivered:
                 self.messages_dropped += 1
+                if self._obs_dropped is not None:
+                    self._obs_dropped.inc()
                 if self.trace is not None:
                     self.trace.record(self.sim.now, "drop", sender=sender, receiver=receiver,
                                       reason=decision.reason)
@@ -684,6 +698,7 @@ class Network:
         now = self.sim.now
         channel = self.channel
         trace = self.trace
+        obs = self._obs
         if (trace is None and self._stock_deliver
                 and not getattr(payload, "is_app_payload", False)):
             # Hottest path of dense-field runs (a quarter-million deliveries
@@ -697,7 +712,13 @@ class Network:
             # delivery of this very batch is still skipped, and stock
             # ``deliver`` routes a non-app payload to ``on_message``
             # regardless of any attached app handler.
-            res = channel.decide_batch_fast(sender, receivers, now)
+            if obs is None:
+                res = channel.decide_batch_fast(sender, receivers, now)
+            else:
+                t0 = obs.clock()
+                res = channel.decide_batch_fast(sender, receivers, now)
+                obs.record_span("channel.decide_batch_fast", now, t0,
+                                {"receivers": len(receivers)})
             if res is not None:
                 mask, accepted = res
                 live = procs if mask is None else procs_arr[mask].tolist()
@@ -712,8 +733,17 @@ class Network:
                         ndelivered -= 1
                 self.messages_dropped += len(receivers) - accepted
                 self.messages_delivered += ndelivered
+                if obs is not None:
+                    self._obs_delivered.inc(ndelivered)
+                    self._obs_dropped.inc(len(receivers) - accepted)
                 return accepted
-        batch = channel.decide_batch(sender, receivers, now)
+        if obs is None:
+            batch = channel.decide_batch(sender, receivers, now)
+        else:
+            t0 = obs.clock()
+            batch = channel.decide_batch(sender, receivers, now)
+            obs.record_span("channel.decide_batch", now, t0,
+                            {"receivers": len(receivers)})
         delivered, delays = batch.delivered, batch.delays
         accepted = batch.n_accepted
         if accepted is None:
@@ -739,6 +769,9 @@ class Network:
                         ndelivered -= 1
                 self.messages_dropped += n_receivers - accepted
                 self.messages_delivered += ndelivered
+                if obs is not None:
+                    self._obs_delivered.inc(ndelivered)
+                    self._obs_dropped.inc(n_receivers - accepted)
                 return accepted
         elif accepted == n_receivers and min(delays) > 0:
             # Purely delayed, nothing dropped: one bulk heap insertion.  No
@@ -755,6 +788,8 @@ class Network:
         for i, receiver in enumerate(receivers):
             if not delivered[i]:
                 self.messages_dropped += 1
+                if obs is not None:
+                    self._obs_dropped.inc()
                 if trace is not None:
                     trace.record(now, "drop", sender=sender, receiver=receiver,
                                  reason=reasons[i] if reasons is not None else "loss")
@@ -768,6 +803,8 @@ class Network:
                 if proc is None or not proc._active:
                     continue
                 self.messages_delivered += 1
+                if obs is not None:
+                    self._obs_delivered.inc()
                 if trace is not None:
                     trace.record(now, "receive", sender=sender, receiver=receiver)
                 proc.deliver(sender, payload)
@@ -780,6 +817,8 @@ class Network:
         if proc is None or not proc._active:
             return
         self.messages_delivered += 1
+        if self._obs_delivered is not None:
+            self._obs_delivered.inc()
         if self.trace is not None:
             self.trace.record(self.sim.now, "receive", sender=sender, receiver=receiver)
         proc.deliver(sender, payload)

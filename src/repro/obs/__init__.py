@@ -1,0 +1,42 @@
+"""Zero-cost-when-disabled runtime observability.
+
+Public surface:
+
+* :func:`current` / :func:`enable` / :func:`disable` / :func:`observing` —
+  the process-local runtime switch.  Off by default; components capture
+  ``current()`` once at construction and guard hot paths with a single
+  attribute check, so a disabled run performs no observation work at all.
+* :class:`ObsContext` — one observed run: a :class:`MetricsRegistry` of
+  counters / gauges / fixed-bucket histograms plus sim-time-correlated span
+  statistics, exportable as a JSON blob or a ``metrics.jsonl`` file.
+* :func:`profiling` — opt-in cProfile wrapper for ``--profile``.
+
+Invariants (pinned by ``tests/test_obs.py`` and the replay-determinism
+matrix): the obs layer never consumes RNG, never schedules or reorders
+events, and keeps wall-clock readings out of sim-visible state — enabling it
+leaves a seeded run bit-identical.
+"""
+
+from .context import (ObsContext, Span, current, disable, enable, observing)
+from .metrics import (Counter, DEFAULT_WALL_NS_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry)
+from .profile import profile_summary, profiling
+from .spans import SpanRecord, SpanStats
+
+__all__ = [
+    "ObsContext",
+    "Span",
+    "current",
+    "enable",
+    "disable",
+    "observing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_WALL_NS_BUCKETS",
+    "SpanRecord",
+    "SpanStats",
+    "profiling",
+    "profile_summary",
+]

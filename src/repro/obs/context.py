@@ -1,0 +1,241 @@
+"""The observation context: registry + spans + export, and the runtime switch.
+
+One :class:`ObsContext` describes one observed run (a single experiment, one
+campaign task, a benchmark).  Components capture the *current* context exactly
+once, at construction time (:func:`current` returns ``None`` when observability
+is off), and their hot paths guard every observation behind a single
+``if self._obs is not None`` attribute check — the same zero-cost-when-disabled
+trick the delivery pipeline uses for ``is_app_payload``.  With observability
+off there is no registry lookup, no clock read, no allocation anywhere on a
+hot path (``tests/test_obs.py`` pins that contract with a sentinel context
+that raises on any touch).
+
+Enabling is process-local and scoped::
+
+    with observing() as obs:
+        ...build simulator / network / run experiment...
+    blob = obs.export()
+
+Campaign workers enable a fresh context around each task and persist the
+export through the result store; the CLI's ``--obs`` / ``--obs-out`` flags do
+the same for single runs.
+
+Determinism: the context never consumes RNG, never schedules or reorders
+events, and keeps wall-clock readings strictly inside observation state —
+enabling it must not (and, per the replay suite, does not) change a single
+delivered byte of a seeded run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+import tracemalloc
+from typing import Any, Dict, Iterator, Optional
+
+from .metrics import MetricsRegistry
+from .spans import SpanStats
+
+__all__ = ["ObsContext", "Span", "current", "enable", "disable", "observing"]
+
+#: Default bound on stored raw records per span name (aggregates stay exact).
+DEFAULT_MAX_SPAN_RECORDS = 1024
+
+
+class Span:
+    """Context-manager handle for one timed region.
+
+    ``with obs.span("topology.csr_rebuild", now) as sp: ...`` — payload counts
+    discovered mid-region are attached with :meth:`add`.
+    """
+
+    __slots__ = ("_obs", "_name", "_sim_time", "_counts", "_t0")
+
+    def __init__(self, obs: "ObsContext", name: str, sim_time: float,
+                 counts: Optional[Dict[str, int]]):
+        self._obs = obs
+        self._name = name
+        self._sim_time = sim_time
+        self._counts = counts
+
+    def add(self, **counts: int) -> None:
+        """Attach payload counts (merged over any passed at entry)."""
+        if self._counts is None:
+            self._counts = dict(counts)
+        else:
+            self._counts.update(counts)
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._obs.record_span(self._name, self._sim_time, self._t0, self._counts)
+
+
+class ObsContext:
+    """Metrics registry + span recorder for one observed run.
+
+    Parameters
+    ----------
+    max_span_records:
+        Sliding-window bound on raw records kept per span name (0 keeps only
+        aggregates).
+    track_heap:
+        Start :mod:`tracemalloc` for the context's lifetime and export the
+        peak traced heap.  Opt-in: tracing slows allocation-heavy runs
+        noticeably, which is why it is not part of plain ``--obs``.
+    """
+
+    __slots__ = ("registry", "max_span_records", "spans", "_seq", "_track_heap",
+                 "_heap_peak", "_started_tracemalloc")
+
+    def __init__(self, max_span_records: int = DEFAULT_MAX_SPAN_RECORDS,
+                 track_heap: bool = False):
+        self.registry = MetricsRegistry()
+        self.max_span_records = int(max_span_records)
+        self.spans: Dict[str, SpanStats] = {}
+        self._seq = 0
+        self._track_heap = bool(track_heap)
+        self._heap_peak: Optional[int] = None
+        self._started_tracemalloc = False
+
+    # ---------------------------------------------------------------- clock
+
+    #: Exposed so instrumented call sites can read one timestamp themselves
+    #: (``t0 = obs.clock()``) and hand it to :meth:`record_span` — cheaper
+    #: than a context manager in per-broadcast paths.
+    clock = staticmethod(time.perf_counter_ns)
+
+    # ---------------------------------------------------------------- spans
+
+    def span(self, name: str, sim_time: float = 0.0, **counts: int) -> Span:
+        """Context manager timing one region (coarse paths)."""
+        return Span(self, name, sim_time, dict(counts) if counts else None)
+
+    def record_span(self, name: str, sim_time: float, t0_ns: int,
+                    counts: Optional[Dict[str, int]] = None) -> None:
+        """Record a region entered at ``t0_ns`` (from :meth:`clock`), ending now."""
+        wall_ns = time.perf_counter_ns() - t0_ns
+        stats = self.spans.get(name)
+        if stats is None:
+            stats = self.spans[name] = SpanStats(name, self.max_span_records)
+        seq = self._seq
+        self._seq = seq + 1
+        stats.observe(sim_time, seq, wall_ns, counts)
+
+    def span_stats(self, name: str) -> Optional[SpanStats]:
+        return self.spans.get(name)
+
+    # ----------------------------------------------------------- heap (opt-in)
+
+    def heap_start(self) -> None:
+        """Begin peak-heap tracking (no-op unless ``track_heap``)."""
+        if self._track_heap and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    def heap_stop(self) -> None:
+        """Capture the traced peak and stop tracking (if this context started it)."""
+        if self._track_heap and tracemalloc.is_tracing():
+            self._heap_peak = tracemalloc.get_traced_memory()[1]
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+                self._started_tracemalloc = False
+
+    @property
+    def heap_peak_bytes(self) -> Optional[int]:
+        return self._heap_peak
+
+    # ---------------------------------------------------------------- export
+
+    def export(self, include_records: bool = False) -> Dict[str, Any]:
+        """The whole context as one JSON-serializable blob.
+
+        ``include_records`` inlines the raw span record windows (sizeable);
+        the campaign store persists the aggregate-only form, ``to_jsonl``
+        writes the full one.
+        """
+        blob = self.registry.as_dict()
+        blob["spans"] = {name: self.spans[name].as_dict(include_records)
+                         for name in sorted(self.spans)}
+        if self._heap_peak is not None:
+            blob["heap_peak_bytes"] = self._heap_peak
+        return blob
+
+    def to_jsonl(self, path: str, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Write the context as JSON lines: one ``meta`` line, then one line
+        per instrument and per span (records included), ``type``-tagged so
+        consumers can stream-filter without loading everything."""
+        blob = self.export(include_records=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {"type": "meta", "schema": "repro-obs/v1"}
+            if meta:
+                header.update(meta)
+            handle.write(json.dumps(header) + "\n")
+            for kind in ("counters", "gauges"):
+                for name, value in blob[kind].items():
+                    handle.write(json.dumps(
+                        {"type": kind[:-1], "name": name, "value": value}) + "\n")
+            for name, data in blob["histograms"].items():
+                handle.write(json.dumps(
+                    {"type": "histogram", "name": name, **data}) + "\n")
+            for name, data in blob["spans"].items():
+                handle.write(json.dumps(
+                    {"type": "span", "name": name, **data}) + "\n")
+            if self._heap_peak is not None:
+                handle.write(json.dumps(
+                    {"type": "gauge", "name": "heap.peak_bytes",
+                     "value": self._heap_peak}) + "\n")
+
+
+# ------------------------------------------------------------------- runtime
+
+#: The process-local current context (None = observability off, the default).
+_CURRENT: Optional[ObsContext] = None
+
+
+def current() -> Optional[ObsContext]:
+    """The active context, or ``None`` when observability is disabled.
+
+    Components call this **once, at construction time**, and cache the result
+    on an instance attribute; hot paths must only ever test that attribute.
+    """
+    return _CURRENT
+
+
+def enable(ctx: Optional[ObsContext] = None) -> ObsContext:
+    """Install ``ctx`` (or a fresh context) as the current one."""
+    global _CURRENT
+    if ctx is None:
+        ctx = ObsContext()
+    _CURRENT = ctx
+    ctx.heap_start()
+    return ctx
+
+
+def disable() -> None:
+    """Turn observability off (components built afterwards observe nothing)."""
+    global _CURRENT
+    if _CURRENT is not None:
+        _CURRENT.heap_stop()
+    _CURRENT = None
+
+
+@contextlib.contextmanager
+def observing(ctx: Optional[ObsContext] = None, **kwargs: Any) -> Iterator[ObsContext]:
+    """Scoped enable/restore: ``with observing() as obs: ...``.
+
+    ``kwargs`` construct the fresh context when ``ctx`` is not given.  The
+    previously-installed context (usually ``None``) is restored on exit, so
+    nested scopes and test isolation work without bookkeeping.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    installed = enable(ctx if ctx is not None else ObsContext(**kwargs))
+    try:
+        yield installed
+    finally:
+        installed.heap_stop()
+        _CURRENT = previous

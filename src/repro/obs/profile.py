@@ -1,0 +1,48 @@
+"""cProfile helpers for per-run / per-campaign-task profiling.
+
+Profiling is orthogonal to the metrics layer: it uses the stdlib profiler, is
+strictly opt-in (``--profile``), and dumps standard ``.prof`` files that
+``python -m pstats`` / snakeviz-style viewers understand.  Like the rest of
+the obs layer it never touches simulation state — the profiler observes the
+interpreter, not the run.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import contextlib
+import io
+import pstats
+from typing import Iterator, Optional
+
+__all__ = ["profiling", "profile_summary"]
+
+
+@contextlib.contextmanager
+def profiling(path: Optional[str]) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block and dump stats to ``path`` (``.prof``).
+
+    ``path=None`` disables profiling entirely (yields ``None``), so call
+    sites can wrap unconditionally::
+
+        with profiling(profile_path):
+            run_experiment(...)
+    """
+    if path is None:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+
+
+def profile_summary(path: str, top: int = 15) -> str:
+    """Human-readable top-functions table for a dumped ``.prof`` file."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(path, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()

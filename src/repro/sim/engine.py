@@ -27,6 +27,8 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import current as _obs_current
+
 __all__ = ["Event", "EventHandle", "Simulator", "SimulationError"]
 
 
@@ -99,6 +101,12 @@ class Simulator:
         self._processed = 0
         self._pending = 0
         self._running = False
+        # Observability is captured once at construction; when disabled the
+        # hot paths below pay exactly one attribute load + None test.
+        obs = _obs_current()
+        self._obs = obs
+        self._obs_events = obs.registry.counter("sim.events") if obs else None
+        self._obs_scheduled = obs.registry.counter("sim.scheduled") if obs else None
 
     # ------------------------------------------------------------------ clock
 
@@ -155,6 +163,8 @@ class Simulator:
                       args=args, kwargs=kwargs)
         heapq.heappush(self._queue, event)
         self._pending += 1
+        if self._obs_scheduled is not None:
+            self._obs_scheduled.inc()
         return EventHandle(event, self)
 
     def schedule_many(self, delays: Sequence[float], callback: Callable[..., Any],
@@ -173,6 +183,8 @@ class Simulator:
         """
         if len(delays) != len(args_seq):
             raise SimulationError("schedule_many needs one args tuple per delay")
+        obs = self._obs
+        t0 = obs.clock() if obs is not None else 0
         now = self._now
         for delay in delays:
             if delay < 0:
@@ -187,6 +199,9 @@ class Simulator:
             for event in events:
                 heapq.heappush(self._queue, event)
         self._pending += len(events)
+        if obs is not None:
+            self._obs_scheduled.inc(len(events))
+            obs.record_span("sim.schedule_many", now, t0, {"events": len(events)})
         return [EventHandle(event, self) for event in events]
 
     def cancel(self, handle: EventHandle) -> None:
@@ -213,7 +228,14 @@ class Simulator:
             event.done = True
             self._pending -= 1
             self._now = event.time
-            event.callback(*event.args, **event.kwargs)
+            obs = self._obs
+            if obs is None:
+                event.callback(*event.args, **event.kwargs)
+            else:
+                t0 = obs.clock()
+                event.callback(*event.args, **event.kwargs)
+                obs.record_span("sim.event_pop", event.time, t0)
+                self._obs_events.inc()
             self._processed += 1
             return True
         return False
@@ -235,6 +257,8 @@ class Simulator:
             The number of events executed by this call.
         """
         executed = 0
+        obs = self._obs
+        t0 = obs.clock() if obs is not None else 0
         self._running = True
         try:
             while True:
@@ -250,6 +274,8 @@ class Simulator:
                     executed += 1
         finally:
             self._running = False
+            if obs is not None:
+                obs.record_span("sim.run", self._now, t0, {"events": executed})
         return executed
 
     def run_until_empty(self, max_events: int = 10_000_000) -> int:

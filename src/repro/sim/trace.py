@@ -8,6 +8,7 @@ Traces are used by tests (to assert causal behaviour), by the metrics package
 
 from __future__ import annotations
 
+import json
 from collections import Counter, defaultdict, deque
 from dataclasses import dataclass
 from typing import Any, Callable, ClassVar, Deque, Dict, Iterator, List, Optional
@@ -63,6 +64,12 @@ class TraceRecorder:
     def record(self, time: float, category: str, **data: Any) -> None:
         """Record an event of ``category`` at simulated ``time``."""
         self._counts[category] += 1
+        if self._max_records == 0 and category not in self._subscribers:
+            # ``max_records=0`` means "count only, store nothing": with no
+            # subscriber wanting the record either, skip constructing it
+            # entirely (a zero-maxlen deque would silently drop it anyway,
+            # but the allocation per event is pure waste).
+            return
         rec = TraceRecord(time=time, category=category, data=data)
         for callback in self._subscribers.get(category, ()):
             callback(rec)
@@ -113,3 +120,23 @@ class TraceRecorder:
         """Drop stored records and counters."""
         self._records.clear()
         self._counts.clear()
+
+    # ---------------------------------------------------------------- export
+
+    def to_jsonl(self, path: str) -> int:
+        """Write the stored records as JSON lines; returns the line count.
+
+        One ``{"time", "category", ...data}`` object per line, in recording
+        order — the same shape the obs layer's ``metrics.jsonl`` uses, so the
+        two files share tooling.  Only *stored* records are written (the
+        sliding window / category filter applies); use :meth:`counts` for the
+        exact per-category totals.
+        """
+        written = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for rec in self._records:
+                payload = {"time": rec.time, "category": rec.category}
+                payload.update(rec.data)
+                handle.write(json.dumps(payload, default=str) + "\n")
+                written += 1
+        return written

@@ -30,6 +30,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
+from repro.obs import current as _obs_current
+
 __all__ = ["AppMessage", "DeliveryLedger"]
 
 
@@ -118,6 +120,10 @@ class DeliveryLedger:
         self.replies_matched = 0
         self._first_event: Optional[float] = None
         self._last_event: Optional[float] = None
+        obs = _obs_current()
+        self._obs = obs
+        self._obs_sends = obs.registry.counter("traffic.sends") if obs else None
+        self._obs_receptions = obs.registry.counter("traffic.receptions") if obs else None
 
     # ----------------------------------------------------------- recording
 
@@ -141,6 +147,8 @@ class DeliveryLedger:
     def record_send(self, msg: AppMessage) -> None:
         """Account one injected message against the sender's group."""
         self.messages_sent += 1
+        if self._obs_sends is not None:
+            self._obs_sends.inc()
         self._latest_seq[msg.sender] = msg.seq
         tally = self._tally(msg.group)
         tally.offered += 1
@@ -150,6 +158,8 @@ class DeliveryLedger:
     def record_delivery(self, receiver: Hashable, msg: AppMessage, now: float) -> None:
         """Account one reception of ``msg`` by ``receiver`` at time ``now``."""
         self.receptions += 1
+        obs = self._obs
+        t0 = obs.clock() if obs is not None else 0
         tally = self._tally(msg.group)
         if receiver in msg.group:
             tally.delivered += 1
@@ -162,6 +172,9 @@ class DeliveryLedger:
         else:
             tally.leaked += 1
         self._touch(now)
+        if obs is not None:
+            self._obs_receptions.inc()
+            obs.record_span("ledger.record_delivery", now, t0)
 
     def record_request(self, requester: Hashable, request_id: int, time: float) -> None:
         """Note an outstanding request (round-trip measurement, reply pending)."""

@@ -23,6 +23,7 @@ import pytest
 from repro.experiments.scenarios import manet_waypoint
 from repro.metrics.overhead import overhead_summary
 from repro.mobility.churn import ChurnEvent, ChurnSchedule
+from repro.obs import ObsContext, observing
 from repro.traffic import TrafficSpec, attach_traffic
 
 N = 500
@@ -47,6 +48,17 @@ BACKENDS = {
 }
 
 
+def rng_fingerprint(deployment):
+    """Serialized post-run RNG states: the root sim stream and (when the
+    channel draws randomness) the channel stream.  Any hidden consumer —
+    an instrumentation layer included — would desynchronize these."""
+    states = {"sim": repr(deployment.sim.rng.bit_generator.state)}
+    channel_rng = getattr(deployment.network.channel, "_rng", None)
+    if channel_rng is not None:
+        states["channel"] = repr(channel_rng.bit_generator.state)
+    return states
+
+
 def run_once(use_spatial_index, vectorized_delivery, array_state=True):
     deployment = manet_waypoint(n=N, area=1500.0, radio_range=100.0, dmax=3,
                                 speed=10.0, seed=SEED, loss_probability=0.05)
@@ -67,6 +79,7 @@ def run_once(use_spatial_index, vectorized_delivery, array_state=True):
         "views": deployment.views(),
         "edges": {frozenset(e) for e in graph.edges},
         "report": overhead_summary(deployment, DURATION).as_row(),
+        "rng_state": rng_fingerprint(deployment),
     }
 
 
@@ -84,6 +97,20 @@ def test_backends_replay_identically(runs, backend):
 
 def test_rerun_with_same_seed_is_identical(runs):
     assert run_once(True, True, True) == runs["indexed+vectorized"]
+
+
+def test_obs_enabled_replay_is_bit_identical(runs):
+    """Observability must be invisible to the simulation: the 500-node run
+    with metrics + spans collected matches the reference fingerprint exactly
+    — deliveries, event counts, topology, and the post-run RNG states (the
+    obs layer never consumes randomness)."""
+    with observing(ObsContext()) as ctx:
+        observed = run_once(True, True, True)
+    assert observed == runs["indexed+vectorized"]
+    export = ctx.export()
+    assert export["counters"]["sim.events"] == observed["processed_events"]
+    assert export["counters"]["net.delivered"] == observed["delivered"]
+    assert "sim.event_pop" in export["spans"]
 
 
 def test_views_cover_all_active_nodes(runs):
