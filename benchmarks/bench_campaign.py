@@ -84,7 +84,11 @@ def main() -> int:
                 "pool_speedup_4_workers", four["speedup"], "x",
                 budget=2.0 if cores >= 4 else None))
         _emit.emit(args.json, bench="campaign", quick=args.quick,
-                   rows=emit_rows, meta={"cores": cores, "rows": rows})
+                   rows=emit_rows,
+                   meta={"cores": cores,
+                         "worker_counts": sorted(set(job_counts)),
+                         "tasks": task_count,
+                         "rows": rows})
 
     if four is not None:
         print(f"\nspeedup at 4 workers: {four['speedup']}x (target >= 2x)")

@@ -28,18 +28,29 @@ corrupt (partially written) lines, so resuming against a truncated store
 simply re-runs the lost task.  Records are namespaced by ``spec_hash``;
 :meth:`ResultStore.completed` only reports tasks of the requested campaign, so
 one file can accumulate several campaigns without cross-talk.  Duplicate
-``(spec_hash, task_id)`` lines can appear if two runs race on the same store;
-the last line wins, matching the append order.
+``(spec_hash, task_id)`` lines can appear if two runs race on the same store
+or a task is retried; the last line wins, matching the append order.
+:meth:`ResultStore.compact` rewrites the file with only the surviving line
+per ``(spec_hash, task_id)``.
+
+:class:`SQLiteResultStore` is a drop-in alternative backed by a SQLite file
+in WAL mode: several worker processes can append concurrently without losing
+rows (SQLite serializes the writes; a busy writer waits instead of failing),
+and the same duplicate/namespacing semantics hold through a monotonic rowid
+standing in for file order.  :func:`open_store` picks the backend from the
+path: a ``sqlite:`` prefix or a ``.sqlite``/``.db`` suffix selects SQLite,
+anything else the JSONL reference backend.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["TaskRecord", "ResultStore"]
+__all__ = ["TaskRecord", "ResultStore", "SQLiteResultStore", "open_store"]
 
 
 def _json_default(value: object) -> object:
@@ -82,12 +93,34 @@ class TaskRecord:
         return asdict(self)
 
 
+#: Keys every persisted record must carry to parse (see module docstring).
+_REQUIRED_KEYS = frozenset(
+    ("spec_hash", "task_id", "experiment", "replicate", "seed", "quick",
+     "description", "wall_time", "rows", "notes"))
+
+
+def _record_from_json(line: str) -> Optional[TaskRecord]:
+    """Parse one persisted JSON record; ``None`` for corrupt/foreign data."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(data, dict) or not _REQUIRED_KEYS <= set(data):
+        return None
+    # "scenario", "traffic", "attempts" and "obs" are optional so stores
+    # written before those fields existed keep loading (records default to
+    # the axis-less cell / single attempt / no observability).
+    return TaskRecord(scenario=data.get("scenario"),
+                      traffic=data.get("traffic"),
+                      attempts=int(data.get("attempts", 1)),
+                      obs=data.get("obs"),
+                      **{k: data[k] for k in _REQUIRED_KEYS})
+
+
 class ResultStore:
     """Append-only JSONL store of :class:`TaskRecord` lines."""
 
-    REQUIRED_KEYS = frozenset(
-        ("spec_hash", "task_id", "experiment", "replicate", "seed", "quick",
-         "description", "wall_time", "rows", "notes"))
+    REQUIRED_KEYS = _REQUIRED_KEYS
 
     def __init__(self, path: str):
         self.path = str(path)
@@ -115,25 +148,166 @@ class ResultStore:
                 line = line.strip()
                 if not line:
                     continue
-                try:
-                    data = json.loads(line)
-                except json.JSONDecodeError:
+                record = _record_from_json(line)
+                if record is None:
                     continue
-                if not isinstance(data, dict) or not self.REQUIRED_KEYS <= set(data):
+                if spec_hash is not None and record.spec_hash != spec_hash:
                     continue
-                if spec_hash is not None and data["spec_hash"] != spec_hash:
-                    continue
-                # "scenario", "traffic", "attempts" and "obs" are optional so
-                # stores written before those fields existed keep loading
-                # (records default to the axis-less cell / single attempt /
-                # no observability).
-                records.append(TaskRecord(scenario=data.get("scenario"),
-                                          traffic=data.get("traffic"),
-                                          attempts=int(data.get("attempts", 1)),
-                                          obs=data.get("obs"),
-                                          **{k: data[k] for k in self.REQUIRED_KEYS}))
+                records.append(record)
         return records
 
     def completed(self, spec_hash: str) -> Dict[str, TaskRecord]:
         """Mapping task_id -> record for one campaign (last duplicate wins)."""
         return {record.task_id: record for record in self.load(spec_hash)}
+
+    def compact(self) -> int:
+        """Drop superseded duplicate lines; returns how many were removed.
+
+        Keeps, for every ``(spec_hash, task_id)``, only the *last* line —
+        exactly the record :meth:`completed` already resolves to — so retried
+        or raced tasks stop accumulating dead weight.  Corrupt and blank
+        lines are dropped too (same as :meth:`load` skipping them; their
+        tasks re-run either way).  The rewrite goes through a temp file and
+        an atomic rename, so a crash mid-compaction leaves the original
+        store intact.  Not safe against a *concurrent* appender — compact
+        between campaign runs, not during one.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        survivors: Dict[tuple, str] = {}
+        total = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                total += 1
+                record = _record_from_json(stripped)
+                if record is None:
+                    continue
+                key = (record.spec_hash, record.task_id)
+                # Re-insertion keeps first-occurrence order while the value
+                # (the surviving line) is the last occurrence.
+                survivors[key] = stripped
+        tmp_path = self.path + ".compact.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for line in survivors.values():
+                handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+        return total - len(survivors)
+
+
+class SQLiteResultStore:
+    """:class:`ResultStore`-compatible backend on a WAL-mode SQLite file.
+
+    Records persist as their JSON blobs in an append-ordered table, so the
+    schema never chases :class:`TaskRecord` fields and every JSONL semantic
+    (spec-hash namespacing, last-duplicate-wins, optional fields) carries
+    over by construction.  WAL journaling plus a generous busy timeout lets
+    multiple worker processes append to the same store concurrently: writes
+    serialize inside SQLite instead of interleaving half-written lines, so
+    no row is ever lost or torn.  Each operation opens a short-lived
+    connection — the store object itself stays picklable and fork/spawn
+    friendly.
+    """
+
+    #: How long a writer waits on a locked database before giving up (ms).
+    BUSY_TIMEOUT_MS = 30_000
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=self.BUSY_TIMEOUT_MS / 1000.0)
+        conn.execute(f"PRAGMA busy_timeout = {self.BUSY_TIMEOUT_MS}")
+        conn.execute("PRAGMA journal_mode = WAL")
+        conn.execute("PRAGMA synchronous = NORMAL")
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS task_records ("
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " spec_hash TEXT NOT NULL,"
+            " task_id TEXT NOT NULL,"
+            " record TEXT NOT NULL)")
+        conn.execute(
+            "CREATE INDEX IF NOT EXISTS idx_task_records_spec"
+            " ON task_records (spec_hash, task_id)")
+        return conn
+
+    def append(self, record: TaskRecord) -> None:
+        """Persist one completed task (committed immediately)."""
+        line = json.dumps(record.as_dict(), default=_json_default)
+        conn = self._connect()
+        try:
+            with conn:
+                conn.execute(
+                    "INSERT INTO task_records (spec_hash, task_id, record)"
+                    " VALUES (?, ?, ?)",
+                    (record.spec_hash, record.task_id, line))
+        finally:
+            conn.close()
+
+    def load(self, spec_hash: Optional[str] = None) -> List[TaskRecord]:
+        """All parseable records (of ``spec_hash`` if given), in append order."""
+        if not os.path.exists(self.path):
+            return []
+        conn = self._connect()
+        try:
+            if spec_hash is None:
+                cursor = conn.execute(
+                    "SELECT record FROM task_records ORDER BY id")
+            else:
+                cursor = conn.execute(
+                    "SELECT record FROM task_records WHERE spec_hash = ?"
+                    " ORDER BY id", (spec_hash,))
+            blobs = [row[0] for row in cursor]
+        finally:
+            conn.close()
+        records: List[TaskRecord] = []
+        for blob in blobs:
+            record = _record_from_json(blob)
+            if record is not None:
+                records.append(record)
+        return records
+
+    def completed(self, spec_hash: str) -> Dict[str, TaskRecord]:
+        """Mapping task_id -> record for one campaign (last duplicate wins)."""
+        return {record.task_id: record for record in self.load(spec_hash)}
+
+    def compact(self) -> int:
+        """Drop superseded duplicate rows and VACUUM; returns rows removed.
+
+        Keeps the highest-rowid record per ``(spec_hash, task_id)`` — the
+        same record :meth:`completed` resolves to.  Like the JSONL variant,
+        run it between campaigns, not while workers are appending.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        conn = self._connect()
+        try:
+            with conn:
+                cursor = conn.execute(
+                    "DELETE FROM task_records WHERE id NOT IN ("
+                    " SELECT MAX(id) FROM task_records"
+                    " GROUP BY spec_hash, task_id)")
+                removed = cursor.rowcount
+            conn.execute("VACUUM")
+        finally:
+            conn.close()
+        return removed
+
+
+def open_store(path: str):
+    """Pick the store backend from ``path``.
+
+    ``sqlite:results.db`` (explicit prefix) or a bare ``.sqlite``/``.db``
+    suffix opens a :class:`SQLiteResultStore`; every other path keeps the
+    JSONL reference backend.
+    """
+    path = str(path)
+    if path.startswith("sqlite:"):
+        return SQLiteResultStore(path[len("sqlite:"):])
+    if path.endswith((".sqlite", ".db")):
+        return SQLiteResultStore(path)
+    return ResultStore(path)

@@ -133,7 +133,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1,
                         help="Worker processes for campaign execution (1 = serial reference).")
     parser.add_argument("--store", type=str, default=None,
-                        help="JSONL result store; reruns resume by skipping recorded tasks.")
+                        help="Result store; reruns resume by skipping recorded tasks. "
+                             "A 'sqlite:' prefix or .sqlite/.db suffix selects the "
+                             "SQLite backend (WAL, concurrent-writer safe); any other "
+                             "path is the JSONL reference backend.")
     parser.add_argument("--progress", action="store_true",
                         help="Stream one '[done/total] task' line to stderr per completed "
                              "campaign task (serial and pool backends).")
@@ -319,9 +322,9 @@ def _write_campaign_obs(path: str, spec, result) -> None:
 
 def _run_campaign(spec, args: argparse.Namespace) -> Tuple[str, int]:
     """Execute the campaign; returns (report, permanently-failed task count)."""
-    from repro.campaign import ResultStore, campaign_report, run_campaign
+    from repro.campaign import campaign_report, open_store, run_campaign
 
-    store = ResultStore(args.store) if args.store else None
+    store = open_store(args.store) if args.store else None
     progress = None
     if args.progress:
         total = spec.task_count()

@@ -163,6 +163,37 @@ class NodeArrayStore:
         row = self.row_of[node]
         return (float(self.xy[row, 0]), float(self.xy[row, 1]))
 
+    # ---------------------------------------------------- shard tile queries
+
+    def x_band_rows(self, x_lo: float, x_hi: float) -> np.ndarray:
+        """Row indices whose x-coordinate lies in ``[x_lo, x_hi)``.
+
+        One vectorized comparison over the live rows; ``-inf`` / ``+inf``
+        bounds select an open-ended band (the first / last tile of a sharded
+        field).  Row indices are only stable until the next removal — use
+        them immediately (gather :attr:`ids`) rather than caching.
+        """
+        xs = self.xy[: self.n, 0]
+        return np.nonzero((xs >= x_lo) & (xs < x_hi))[0]
+
+    def interior_rows(self, x_lo: float, x_hi: float, margin: float) -> np.ndarray:
+        """Rows of the ``[x_lo, x_hi)`` band that are at least ``margin``
+        away from both band edges — the complement of the halo slice.
+
+        A sender here can only reach receivers inside the band (unit-disk
+        reach ``margin`` cannot cross an edge), so the sharded delivery path
+        may skip per-receiver ownership checks for these rows.
+        """
+        return self.x_band_rows(x_lo + margin, x_hi - margin)
+
+    def halo_rows(self, x_lo: float, x_hi: float, margin: float) -> np.ndarray:
+        """Rows of the ``[x_lo, x_hi)`` band within ``margin`` of either band
+        edge — the halo slice whose sends may cross a shard boundary."""
+        xs = self.xy[: self.n, 0]
+        in_band = (xs >= x_lo) & (xs < x_hi)
+        near_edge = (xs < x_lo + margin) | (xs >= x_hi - margin)
+        return np.nonzero(in_band & near_edge)[0]
+
 
 class ArrayLinkState:
     """Symmetric uniform-radius link set as CSR adjacency over array rows.

@@ -659,6 +659,39 @@ class Network:
                 self.sim.schedule(decision.delay, self._deliver, sender, receiver, payload)
         return accepted
 
+    def _receiver_batch(self, linkstate: Any, sender: Hashable):
+        """Cached ``(receivers, procs, procs_arr)`` triple for one sender.
+
+        Keyed on (generation, link-state instance): every position/membership/
+        activation change bumps the generation, and any radio change —
+        notified or auto-detected through the per-query radius check —
+        replaces the link-state instance.  Caching the process objects (list
+        + object ndarray) next to the ids lets delivery loops skip one dict
+        lookup per receiver and gather accepted subsets with one masked
+        index.  Shared by the stock batched broadcast and the ownership-aware
+        sharded variant (:mod:`repro.shard`), which must consume receivers in
+        exactly this order to stay bit-identical.
+        """
+        generation = self._generation
+        cached = self._receiver_cache.get(sender)
+        if cached is not None:
+            gen_c, ls_c, receivers, procs, procs_arr = cached
+            if gen_c == generation and ls_c is linkstate:
+                return receivers, procs, procs_arr
+        if type(linkstate) is ArrayLinkState:
+            receivers, procs_arr = linkstate.active_receivers(sender, generation)
+            procs = procs_arr.tolist()
+        else:
+            processes = self._processes
+            receivers = [r for r in linkstate.out_neighbors_sorted(sender)
+                         if processes[r]._active]
+            procs = [processes[r] for r in receivers]
+            procs_arr = np.empty(len(procs), dtype=object)
+            procs_arr[:] = procs
+        self._receiver_cache[sender] = (generation, linkstate, receivers,
+                                        procs, procs_arr)
+        return receivers, procs, procs_arr
+
     def _broadcast_batched(self, linkstate: Any, sender: Hashable,
                            payload: Any) -> int:
         """Batched tail of :meth:`broadcast` (deterministic-vicinity radios).
@@ -667,32 +700,7 @@ class Network:
         distance test disappears; active receivers keep insertion order, so
         the channel consumes its RNG exactly as the scalar loop would.
         """
-        generation = self._generation
-        cached = self._receiver_cache.get(sender)
-        # Keyed on (generation, cache instance): every position/membership/
-        # activation change bumps the generation, and any radio change —
-        # notified or auto-detected through the per-query radius check —
-        # replaces the link-state instance.
-        if cached is not None:
-            gen_c, ls_c, receivers, procs, procs_arr = cached
-            cached = gen_c == generation and ls_c is linkstate
-        if not cached:
-            # Caching the process objects (list + object ndarray) next to the
-            # ids lets the delivery loop skip one dict lookup per receiver
-            # and gather accepted subsets with one masked index.
-            if type(linkstate) is ArrayLinkState:
-                receivers, procs_arr = linkstate.active_receivers(sender,
-                                                                  generation)
-                procs = procs_arr.tolist()
-            else:
-                processes = self._processes
-                receivers = [r for r in linkstate.out_neighbors_sorted(sender)
-                             if processes[r]._active]
-                procs = [processes[r] for r in receivers]
-                procs_arr = np.empty(len(procs), dtype=object)
-                procs_arr[:] = procs
-            self._receiver_cache[sender] = (generation, linkstate, receivers,
-                                            procs, procs_arr)
+        receivers, procs, procs_arr = self._receiver_batch(linkstate, sender)
         if not receivers:
             return 0
         now = self.sim.now

@@ -44,7 +44,7 @@ import numpy as np
 from .arraystate import HYPOT_GUARD_BAND
 from .geometry import Point
 
-__all__ = ["UniformGridIndex"]
+__all__ = ["UniformGridIndex", "x_tile_cuts"]
 
 Cell = Tuple[int, int]
 
@@ -235,3 +235,59 @@ class UniformGridIndex:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"UniformGridIndex(cell={self.cell_size}, nodes={len(self._positions)}, "
                 f"occupied_cells={len(self._cells)})")
+
+
+# --------------------------------------------------------- tile partitioning
+
+def x_tile_cuts(xs: Sequence[float], cell_size: float, tiles: int) -> List[int]:
+    """Cut the grid's x-columns into ``tiles`` contiguous bands of cells,
+    balanced by node count.
+
+    ``xs`` are node x-coordinates; each node lands in column
+    ``floor(x / cell_size)`` — the same cell convention as
+    :meth:`UniformGridIndex.cell_key`, so a band of columns is exactly a band
+    of grid cells.  The return value is ``tiles - 1`` ascending cut columns:
+    tile ``t`` owns every column ``c`` with ``cuts[t-1] < c <= cuts[t]``
+    (tile 0 is unbounded below, the last tile unbounded above, so *every*
+    possible column — including ones nodes only reach later through mobility
+    — has exactly one owner).
+
+    The cuts are chosen greedily against the ideal quantile targets
+    ``total * (t+1) / tiles`` while reserving one column for each remaining
+    tile, so no tile is ever an empty range when there are at least ``tiles``
+    occupied columns.  The assignment is a pure function of the inputs —
+    deterministic across processes, the property the sharded executor's
+    replicated world construction relies on.
+    """
+    if tiles < 1:
+        raise ValueError("tiles must be >= 1")
+    if cell_size <= 0:
+        raise ValueError("cell_size must be positive")
+    if tiles == 1:
+        return []
+    counts: Dict[int, int] = {}
+    for x in xs:
+        column = math.floor(x / cell_size)
+        counts[column] = counts.get(column, 0) + 1
+    columns = sorted(counts)
+    if len(columns) < tiles:
+        raise ValueError(
+            f"cannot split {len(columns)} occupied grid columns into {tiles} tiles; "
+            "use fewer shards or a smaller cell size")
+    total = sum(counts.values())
+    cuts: List[int] = []
+    acc = 0
+    index = 0
+    for tile in range(tiles - 1):
+        target = total * (tile + 1) / tiles
+        # Rightmost column this cut may take: each of the remaining tiles
+        # (later cuts plus the final tile) must keep at least one column.
+        last_allowed = len(columns) - (tiles - tile - 1) - 1
+        while True:
+            acc += counts[columns[index]]
+            if acc >= target or index == last_allowed:
+                break
+            index += 1
+        cuts.append(columns[index])
+        index += 1
+    return cuts

@@ -353,6 +353,62 @@ def flash_crowd(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
 
 
 @scenario(
+    "city_scale",
+    "Hundred-thousand-node static urban field: dense hotspots over a sparse background",
+    [_p("n", "int", 100_000, "number of nodes"),
+     _p("area", "float", 30_000.0, "side of the square city"),
+     _p("radio_range", "float", 100.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("hotspot_count", "int", 12, "number of dense urban hotspots"),
+     _p("hotspot_fraction", "float", 0.6, "fraction of nodes placed in hotspots"),
+     _p("hotspot_sigma", "float", 2_000.0, "gaussian spread of one hotspot"),
+     _p("loss_probability", "float", 0.05, "per-receiver message loss probability"),
+     _p("min_delay", "float", 0.05, "minimum channel delivery delay"),
+     _p("max_delay", "float", 0.05, "maximum channel delivery delay"),
+     _p("use_spatial_index", "bool", True, "serve neighbour queries from the grid index")],
+    tags=("static", "large", "urban"))
+def city_scale(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
+               radio_range: float, dmax: int, hotspot_count: int,
+               hotspot_fraction: float, hotspot_sigma: float, loss_probability: float,
+               min_delay: float, max_delay: float,
+               use_spatial_index: bool) -> GRPDeployment:
+    """Static mega-city: the sharding and store benchmarks' reference workload.
+
+    A ``hotspot_fraction`` share of the nodes cluster around gaussian city
+    centres; the rest spread uniformly (suburban background).  The channel is
+    lossy with a *positive minimum delay*, which gives any windowed executor
+    (e.g. :mod:`repro.shard`) a non-zero lookahead; the default keeps
+    ``min_delay == max_delay`` so the vectorized delivery batch path stays
+    engaged.  The field is static — ownership of a spatial tile never changes.
+    """
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ValueError("hotspot_fraction must be in [0, 1]")
+    if hotspot_count <= 0:
+        raise ValueError("hotspot_count must be positive")
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    rng = seeds.stream("placement")
+    in_hotspots = int(round(hotspot_fraction * n))
+    centres = rng.uniform(0.0, area, size=(hotspot_count, 2))
+    # One vectorized pass per coordinate set; positions assemble in node-id
+    # order so the layout is independent of dict iteration order.
+    choice = rng.integers(0, hotspot_count, size=in_hotspots)
+    spread = rng.normal(0.0, hotspot_sigma, size=(in_hotspots, 2))
+    hotspot_xy = (centres[choice] + spread).clip(0.0, area)
+    background_xy = rng.uniform(0.0, area, size=(n - in_hotspots, 2))
+    positions: Dict[Hashable, Tuple[float, float]] = {}
+    for node in range(in_hotspots):
+        positions[node] = (float(hotspot_xy[node, 0]), float(hotspot_xy[node, 1]))
+    for index in range(n - in_hotspots):
+        positions[in_hotspots + index] = (float(background_xy[index, 0]),
+                                          float(background_xy[index, 1]))
+    channel = LossyChannel(loss_probability=loss_probability, min_delay=min_delay,
+                           max_delay=max_delay)
+    return build_grp_network(positions, cfg, radio_range=radio_range, channel=channel,
+                             seed=seed, use_spatial_index=use_spatial_index)
+
+
+@scenario(
     "sparse_lossy_field",
     "Sparse intermittently-connected field over a lossy delayed channel",
     [_p("n", "int", 40, "number of nodes"),

@@ -1,0 +1,353 @@
+"""Coordinator for sharded execution: windows, exchange, merge.
+
+The conservative synchronization loop (classic null-message-free PDES with a
+global reduction, sized for a handful of shards):
+
+1. every shard reports the time of its earliest pending event;
+2. the coordinator picks the global minimum ``t`` (ignoring shards already
+   past the run horizon) and opens a window — ``[t, t]`` inclusive when the
+   channel lookahead is zero (lockstep round per distinct timestamp),
+   ``[t, t + L)`` exclusive when the minimum channel delay ``L`` is positive
+   (clamped inclusively to the horizon);
+3. shards whose next event falls inside the window execute it with
+   :meth:`~repro.sim.engine.Simulator.run_window`, capturing cross-shard
+   deliveries in their outboxes (the channel guarantees every capture's
+   receive time is at or beyond the window end, so no shard ever misses a
+   message it should already have seen);
+4. outboxes are concatenated in shard order, stably sorted by receive time,
+   routed to each receiver's owner and applied — inline for zero-delay
+   entries, as scheduled events otherwise;
+5. repeat until no shard holds an event at or before the horizon.
+
+Two transports run the same loop: ``inproc`` hosts every shard in the
+calling process (the bit-identity reference and the default for tests) and
+``mp`` spawns one OS process per shard (fresh-interpreter ``spawn`` context,
+command pipes), which is where multi-core hardware buys wall-clock speedup.
+
+The merge reassembles the exact single-process result: counters sum, the
+replicated event count is subtracted ``k - 1`` times, per-shard views and
+per-sender channel RNG states union disjointly, replicated facts (topology
+edges, root RNG state, shared event count) are asserted identical across
+shards, and traffic ledgers fold through
+:meth:`~repro.traffic.ledger.DeliveryLedger.merge_from`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .world import OutboxEntry, ShardSpec, ShardWorld
+
+__all__ = ["ShardRunResult", "run_sharded"]
+
+
+@dataclass
+class ShardRunResult:
+    """Merged outcome of one sharded run.
+
+    ``fingerprint`` carries the determinism-relevant protocol facts (event
+    and message counters, views, edges, overhead report, RNG states) in the
+    shape the replay-determinism suite compares.  ``traffic`` holds the
+    merged application-ledger facts when a workload was attached.  ``stats``
+    is diagnostic only (per-shard breakdowns, round counts, remote delivery
+    counts) and intentionally k-dependent.
+    """
+
+    fingerprint: Dict[str, Any]
+    traffic: Optional[Dict[str, Any]]
+    stats: Dict[str, Any]
+
+
+# ------------------------------------------------------------------- hosts
+
+class _InprocHost:
+    """A shard living in the coordinator's own process."""
+
+    def __init__(self, spec: ShardSpec, shard_id: int):
+        self.world = ShardWorld(spec, shard_id)
+        self.peek = self.world.peek()
+        self.lookahead = self.world.lookahead
+        self.owners = self.world.owners
+        self._out: List[OutboxEntry] = []
+
+    def submit_round(self, end: float, inclusive: bool) -> None:
+        self._out = self.world.run_round(end, inclusive)
+
+    def collect_round(self) -> Tuple[List[OutboxEntry], Optional[float]]:
+        out, self._out = self._out, []
+        return out, self.world.peek()
+
+    def submit_apply(self, round_time: float, entries: List[OutboxEntry]) -> None:
+        self.world.apply(round_time, entries)
+
+    def collect_apply(self) -> Optional[float]:
+        return self.world.peek()
+
+    def submit_finish(self, duration: float) -> None:
+        self._parts = self.world.finish(duration)
+
+    def collect_finish(self) -> Dict[str, Any]:
+        return self._parts
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker_main(conn, spec: ShardSpec, shard_id: int) -> None:
+    """Serve one shard over a command pipe (runs in a spawned process)."""
+    try:
+        world = ShardWorld(spec, shard_id)
+        conn.send(("ready", world.peek(), world.lookahead, world.owners))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "round":
+                out = world.run_round(msg[1], msg[2])
+                conn.send(("ok", out, world.peek()))
+            elif cmd == "apply":
+                world.apply(msg[1], msg[2])
+                conn.send(("ok", world.peek()))
+            elif cmd == "finish":
+                conn.send(("ok", world.finish(msg[1])))
+                conn.close()
+                return
+            elif cmd == "stop":
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol bug guard
+                raise RuntimeError(f"unknown shard command {cmd!r}")
+    except Exception:  # pragma: no cover - exercised only on worker crashes
+        import traceback
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class _MpHost:
+    """A shard living in its own spawned OS process."""
+
+    def __init__(self, ctx, spec: ShardSpec, shard_id: int):
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_shard_worker_main,
+                                args=(child, spec, shard_id), daemon=True)
+        self.proc.start()
+        child.close()
+        self.peek: Optional[float] = None
+        self.lookahead: float = 0.0
+        self.owners: Dict[Hashable, int] = {}
+
+    def await_ready(self) -> None:
+        _, self.peek, self.lookahead, self.owners = self._recv()
+
+    def _recv(self):
+        msg = self.conn.recv()
+        if msg[0] == "error":
+            raise RuntimeError(f"shard worker failed:\n{msg[1]}")
+        return msg
+
+    def submit_round(self, end: float, inclusive: bool) -> None:
+        self.conn.send(("round", end, inclusive))
+
+    def collect_round(self) -> Tuple[List[OutboxEntry], Optional[float]]:
+        _, out, peek = self._recv()
+        return out, peek
+
+    def submit_apply(self, round_time: float, entries: List[OutboxEntry]) -> None:
+        self.conn.send(("apply", round_time, entries))
+
+    def collect_apply(self) -> Optional[float]:
+        return self._recv()[1]
+
+    def submit_finish(self, duration: float) -> None:
+        self.conn.send(("finish", duration))
+
+    def collect_finish(self) -> Dict[str, Any]:
+        parts = self._recv()[1]
+        self.proc.join(timeout=60)
+        return parts
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=10)
+
+
+# -------------------------------------------------------------- coordinator
+
+def _coordinate(hosts, owners: Dict[Hashable, int], lookahead: float,
+                duration: float) -> Dict[str, int]:
+    """Drive the synchronized window loop until the horizon; return stats."""
+    peeks: List[Optional[float]] = [host.peek for host in hosts]
+    rounds = 0
+    exchanged = 0
+    while True:
+        live = [i for i, p in enumerate(peeks) if p is not None and p <= duration]
+        if not live:
+            break
+        t = min(peeks[i] for i in live)
+        if lookahead > 0:
+            end = t + lookahead
+            inclusive = end >= duration
+            if inclusive:
+                end = duration
+        else:
+            end, inclusive = t, True
+        # Only shards with work inside the window run it; the others would
+        # execute nothing, so skipping their round-trip is an exact no-op.
+        if inclusive:
+            active = [i for i in live if peeks[i] <= end]
+        else:
+            active = [i for i in live if peeks[i] < end]
+        rounds += 1
+        for i in active:
+            hosts[i].submit_round(end, inclusive)
+        entries: List[OutboxEntry] = []
+        for i in active:
+            out, peeks[i] = hosts[i].collect_round()
+            entries.extend(out)
+        if entries:
+            # Stable sort on receive time over the shard-ordered concatenation:
+            # one deterministic application order whatever the transport.
+            entries.sort(key=lambda entry: entry[0])
+            exchanged += len(entries)
+            batches: Dict[int, List[OutboxEntry]] = {}
+            for entry in entries:
+                batches.setdefault(owners[entry[2]], []).append(entry)
+            targets = sorted(batches)
+            for shard in targets:
+                hosts[shard].submit_apply(t, batches[shard])
+            for shard in targets:
+                peeks[shard] = hosts[shard].collect_apply()
+    return {"rounds": rounds, "remote_deliveries": exchanged}
+
+
+# -------------------------------------------------------------------- merge
+
+def _require_consensus(parts: List[Dict[str, Any]], key: str):
+    """Replicated facts must be byte-equal in every shard."""
+    reference = parts[0][key]
+    for part in parts[1:]:
+        if part[key] != reference:
+            raise RuntimeError(
+                f"sharded run diverged: {key} differs between shard 0 and "
+                f"shard {part['shard_id']} — the partition leaked into "
+                f"replicated state")
+    return reference
+
+
+def _merge(spec: ShardSpec, parts: List[Dict[str, Any]],
+           loop_stats: Dict[str, int], transport: str) -> ShardRunResult:
+    k = len(parts)
+    duration = spec.duration
+    shared = _require_consensus(parts, "shared_events")
+    sim_rng = _require_consensus(parts, "sim_rng")
+    total_nodes = _require_consensus(parts, "total_nodes")
+    if sum(p["node_count"] for p in parts) != total_nodes:
+        raise RuntimeError("sharded run lost nodes: tile ownership is not a partition")
+    sent = sum(p["sent"] for p in parts)
+    delivered = sum(p["delivered"] for p in parts)
+    dropped = sum(p["dropped"] for p in parts)
+    channel_rng: Dict[str, str] = {}
+    for part in parts:
+        overlap = channel_rng.keys() & part["channel_rng"].keys()
+        if overlap:
+            raise RuntimeError(f"channel stream owned by two shards: {sorted(overlap)}")
+        channel_rng.update(part["channel_rng"])
+    fingerprint: Dict[str, Any] = {
+        "processed_events": sum(p["processed_events"] for p in parts) - (k - 1) * shared,
+        "sent": sent,
+        "delivered": delivered,
+        "dropped": dropped,
+        "rng_state": {"sim": sim_rng, "channel": channel_rng},
+    }
+    if spec.fingerprint:
+        views: Dict[Hashable, Any] = {}
+        for part in parts:
+            views.update(part["views"])
+        fingerprint["views"] = views
+        fingerprint["edges"] = _require_consensus(parts, "edges")
+        # The overhead report re-derives OverheadSummary.as_row() from the
+        # merged integer ingredients with the identical expressions, so the
+        # floats match the single-process report bit for bit.
+        payload_total = sum(p["payload_total"] for p in parts)
+        payload_count = sum(p["payload_count"] for p in parts)
+        computations = sum(p["computations"] for p in parts)
+        denom = max(total_nodes, 1)
+        fingerprint["report"] = {
+            "nodes": total_nodes,
+            "msgs/node/s": round(sent / denom / duration, 3),
+            "payload slots": round((payload_total / payload_count)
+                                   if payload_count else 0.0, 2),
+            "computes/node/s": round(computations / denom / duration, 3),
+            "delivered": delivered,
+            "dropped": dropped,
+        }
+    traffic = None
+    ledgers = [p["ledger"] for p in parts if p.get("ledger") is not None]
+    if ledgers:
+        merged = ledgers[0]
+        for ledger in ledgers[1:]:
+            merged.merge_from(ledger)
+        traffic = {
+            "app_sent": merged.messages_sent,
+            "app_receptions": merged.receptions,
+            "requests": merged.requests_sent,
+            "replies": merged.replies_matched,
+            "group_rows": merged.group_rows(),
+            "totals": merged.totals(duration),
+        }
+    stats = {
+        "shards": k,
+        "transport": transport,
+        "rounds": loop_stats["rounds"],
+        "remote_deliveries": loop_stats["remote_deliveries"],
+        "shared_events": shared,
+        "per_shard": [{"shard_id": p["shard_id"],
+                       "nodes": p["node_count"],
+                       "processed_events": p["processed_events"],
+                       "sent": p["sent"],
+                       "remote_in": p["remote_in"]} for p in parts],
+    }
+    return ShardRunResult(fingerprint=fingerprint, traffic=traffic, stats=stats)
+
+
+# ---------------------------------------------------------------- entrypoint
+
+def run_sharded(spec: ShardSpec, transport: str = "inproc") -> ShardRunResult:
+    """Execute ``spec`` across ``spec.shards`` workers and merge the result.
+
+    ``transport='inproc'`` runs every shard in this process (deterministic
+    reference, zero IPC); ``transport='mp'`` spawns one OS process per shard
+    and coordinates over pipes.  Both produce the same
+    :class:`ShardRunResult` bit for bit.
+    """
+    if transport not in ("inproc", "mp"):
+        raise ValueError(f"unknown transport {transport!r}; use 'inproc' or 'mp'")
+    hosts: List[Any] = []
+    try:
+        if transport == "inproc":
+            hosts = [_InprocHost(spec, shard) for shard in range(spec.shards)]
+        else:
+            ctx = multiprocessing.get_context("spawn")
+            hosts = [_MpHost(ctx, spec, shard) for shard in range(spec.shards)]
+            for host in hosts:
+                host.await_ready()
+        lookahead = hosts[0].lookahead
+        for host in hosts[1:]:
+            if host.lookahead != lookahead:
+                raise RuntimeError("shards disagree on channel lookahead")
+        loop_stats = _coordinate(hosts, hosts[0].owners, lookahead, spec.duration)
+        for host in hosts:
+            host.submit_finish(spec.duration)
+        parts = [host.collect_finish() for host in hosts]
+        return _merge(spec, parts, loop_stats, transport)
+    finally:
+        for host in hosts:
+            host.close()

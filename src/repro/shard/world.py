@@ -1,0 +1,530 @@
+"""One shard's slice of a sharded world: spec, network override, lifecycle.
+
+Execution model
+---------------
+Every shard worker builds the **entire** deployment from the scenario
+registry — construction, node start order, mobility, churn and topology are
+*replicated* bit-identically in every process (they are pure functions of the
+spec and seed).  What is *partitioned* is the compute: each node is owned by
+exactly one shard (the spatial tile containing its initial position, see
+:class:`repro.shard.tiles.TileMap`), and only the owner runs the node's
+protocol timers, computations, application traffic and sends.  Non-owned
+nodes are full local *mirrors*: they exist, hold positions, flip their active
+flags under churn — so receiver sets and topology snapshots match the
+single-process run exactly — but their timers are quiesced and they never
+receive a message locally.
+
+Cross-shard delivery is captured at **send time**: when an owned sender's
+channel decision accepts a receiver owned elsewhere, the delivery is not
+scheduled locally but appended to the shard's outbox as
+``(recv_time, sender, receiver, payload)``.  The coordinator exchanges
+outboxes between synchronized time windows and the receiver's owner applies
+them — inline (no event) when ``recv_time`` equals the window time, matching
+the zero-delay inline delivery of the stock pipeline, or as a scheduled
+``_deliver`` event otherwise.  Capturing at send time (not at a local mirror
+delivery event) is what keeps windowed execution with positive lookahead
+exact: the decision happens at the same simulated instant as in the
+reference run, and the receiving shard gets the message before it executes
+anything at or after ``recv_time``.
+
+Event-count parity
+------------------
+``processed_events`` must merge to the single-process number.  Three event
+classes exist:
+
+* **partitioned** events (timers, computations, sends, delayed deliveries,
+  traffic) run at exactly one owner — summing is correct;
+* **replicated** events (mobility ticks, churn applications) run once per
+  shard — each shard counts them in ``shared_events`` and the merge
+  subtracts ``(k - 1) *`` that count (asserted equal across shards);
+* **zero-delay deliveries** are *no* events in the stock pipeline (delivered
+  inline from the broadcast), so cross-shard entries with
+  ``recv_time == window time`` are applied inline, not scheduled.
+
+Determinism contract
+--------------------
+The channel must be per-sender (:class:`repro.shard.channel.PerSenderChannel`
+replaces the built lossy channel; the reference fingerprint is this engine at
+``shards=1``).  Unsupported pieces raise :class:`ShardUnsupportedError`
+rather than silently diverging: :class:`~repro.net.channel.CollisionChannel`
+(receiver-side state couples senders), the ``bursty_pubsub`` traffic pattern
+(driver-level publisher selection draws over the node census, which differs
+per shard) and network subclasses.  Cross-shard deliveries that share an
+exact timestamp with an event at the receiving shard are applied after that
+event rather than seq-interleaved with it; GRP stores receptions
+commutatively and never broadcasts synchronously from handlers, and all
+stock send/timer times are continuous random draws, so same-instant
+cross-shard races do not arise in supported workloads.  Receiver-side
+staleness accounting of the traffic ledger is exact for zero-delay
+application channels (remote senders' newest-seq table is per shard);
+delayed application channels would report slightly lower staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.core.messages import GRPMessage
+from repro.mobility.churn import ChurnEvent, ChurnSchedule
+from repro.net.channel import CollisionChannel, LossyChannel, PerfectChannel
+from repro.net.network import Network
+from repro.scenarios.registry import build as build_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.randomness import derive_seed
+from repro.sim.timers import OneShotTimer, PeriodicTimer
+from repro.traffic.generators import TrafficDriver
+from repro.traffic.spec import TrafficSpec
+
+from .channel import PerSenderChannel
+from .tiles import TileMap
+
+__all__ = ["ShardSpec", "ShardWorld", "ShardNetwork", "ShardUnsupportedError",
+           "SUPPORTED_TRAFFIC"]
+
+#: Traffic patterns whose random draws are per-node (invariant under
+#: partitioning the node census across workers).
+SUPPORTED_TRAFFIC = frozenset({"periodic_beacon", "request_reply", "state_sync"})
+
+#: An outbox entry: (absolute receive time, sender, receiver, payload).
+OutboxEntry = Tuple[float, Hashable, Hashable, Any]
+
+
+class ShardUnsupportedError(RuntimeError):
+    """The requested world cannot be sharded bit-identically."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Complete, picklable description of one sharded run.
+
+    A pure value object: every worker process reconstructs its world from
+    this spec alone, so the spec must capture everything the single-process
+    run would configure (scenario, backend flags, churn, traffic).
+    """
+
+    scenario: str
+    params: Tuple[Tuple[str, object], ...]
+    seed: int
+    duration: float
+    shards: int = 1
+    use_spatial_index: bool = True
+    vectorized_delivery: bool = True
+    array_state: bool = True
+    churn: Tuple[Tuple[float, Hashable, bool], ...] = ()
+    traffic: Optional[Tuple[str, Tuple[Tuple[str, object], ...]]] = None
+    traffic_seed: Optional[int] = None
+    #: Collect the full determinism fingerprint (views, topology edges,
+    #: per-node payload sizes).  Benchmarks turn it off: a 100k-node
+    #: topology snapshot is pure fingerprint overhead.
+    fingerprint: bool = True
+
+    @classmethod
+    def create(cls, scenario: str, *, seed: int, duration: float, shards: int = 1,
+               params: Optional[Dict[str, object]] = None,
+               use_spatial_index: bool = True, vectorized_delivery: bool = True,
+               array_state: bool = True, churn=(),
+               traffic: Optional[str] = None,
+               traffic_params: Optional[Dict[str, object]] = None,
+               traffic_seed: Optional[int] = None,
+               fingerprint: bool = True) -> "ShardSpec":
+        """Build a spec from keyword arguments (dicts and ChurnEvents ok)."""
+        churn_rows = []
+        for event in churn:
+            if isinstance(event, ChurnEvent):
+                churn_rows.append((float(event.time), event.node_id, bool(event.active)))
+            else:
+                time, node_id, active = event
+                churn_rows.append((float(time), node_id, bool(active)))
+        traffic_value = None
+        if traffic is not None:
+            traffic_value = (str(traffic), tuple(sorted((traffic_params or {}).items())))
+        return cls(scenario=str(scenario),
+                   params=tuple(sorted((params or {}).items())),
+                   seed=int(seed), duration=float(duration), shards=int(shards),
+                   use_spatial_index=bool(use_spatial_index),
+                   vectorized_delivery=bool(vectorized_delivery),
+                   array_state=bool(array_state), churn=tuple(churn_rows),
+                   traffic=traffic_value, traffic_seed=traffic_seed,
+                   fingerprint=bool(fingerprint))
+
+
+def _quiesce_timers(process) -> None:
+    """Stop every timer attribute of a mirror process.
+
+    Mirrors must never act on their own: their protocol state is owned by
+    another shard.  Sweeping the instance attributes keeps this independent
+    of the concrete process class (GRPNode carries ``_tc_timer`` and
+    ``_ts_timer``; future protocols may differ).
+    """
+    for value in vars(process).values():
+        if isinstance(value, PeriodicTimer):
+            value.stop()
+        elif isinstance(value, OneShotTimer):
+            value.cancel()
+
+
+class ShardNetwork(Network):
+    """Ownership-aware :class:`~repro.net.network.Network`.
+
+    Installed by rebinding ``network.__class__`` after the scenario builder
+    returns (the build path stays byte-identical to the reference).  The
+    broadcast pipeline is the stock one with a single extra dispatch: a
+    receiver owned by another shard gets its accepted delivery appended to
+    the outbox instead of a local schedule.  Channel decisions — order and
+    RNG consumption — are exactly those of the stock batched/scalar loops.
+    """
+
+    def _shard_configure(self, owner_of: Dict[Hashable, int], shard_id: int,
+                         outbox: List[OutboxEntry],
+                         interior: FrozenSet[Hashable]) -> None:
+        self._shard_owner = owner_of
+        self._shard_id = shard_id
+        self._shard_outbox = outbox
+        #: Senders whose whole vicinity is provably owned here (static worlds
+        #: only): their broadcasts take the untouched stock path, so the
+        #: ownership dispatch taxes only the halo band.
+        self._shard_interior = interior
+
+    # ------------------------------------------------------------------ churn
+
+    def activate_node(self, node_id: Hashable) -> None:
+        super().activate_node(node_id)
+        # Reactivation restarts the process's timers (on_activate contract);
+        # a mirror must go straight back to sleep before any of them fires.
+        if self._shard_owner.get(node_id, self._shard_id) != self._shard_id:
+            _quiesce_timers(self._processes[node_id])
+
+    # -------------------------------------------------------------- messaging
+
+    def broadcast(self, sender: Hashable, payload: Any) -> int:
+        if sender in self._shard_interior:
+            return Network.broadcast(self, sender, payload)
+        sender_proc = self._processes[sender]
+        if not sender_proc._active:
+            return 0
+        self.messages_sent += 1
+        if self._obs_broadcasts is not None:
+            self._obs_broadcasts.inc()
+        now = self.sim.now
+        if self.trace is not None:
+            self.trace.record(now, "send", sender=sender)
+        linkstate = self._link_state() if self._det_vicinity else None
+        if linkstate is not None:
+            receivers = self._receiver_batch(linkstate, sender)[0]
+            if not receivers:
+                return 0
+            # Always the boxed batch decision: its RNG consumption equals the
+            # scalar loop's by the decide_batch contract, and unlike the
+            # fast hook it reports the per-receiver delays the ownership
+            # dispatch needs.  (decide_batch_fast consumes the RNG
+            # identically, so the shards=1 reference stays bit-compatible.)
+            batch = self.channel.decide_batch(sender, receivers, now)
+            return self._shard_dispatch(sender, payload, receivers,
+                                        batch.delivered, batch.delays,
+                                        batch.reasons, now)
+        sender_pos = self._positions[sender]
+        owner, me = self._shard_owner, self._shard_id
+        outbox = self._shard_outbox
+        accepted = 0
+        for receiver in self._vicinity_candidates(sender):
+            proc = self._processes[receiver]
+            if not proc._active:
+                continue
+            receiver_pos = self._positions[receiver]
+            if not self.radio.in_vicinity(sender, receiver, sender_pos, receiver_pos):
+                continue
+            decision = self.channel.decide(sender, receiver, now)
+            if not decision.delivered:
+                self.messages_dropped += 1
+                if self._obs_dropped is not None:
+                    self._obs_dropped.inc()
+                if self.trace is not None:
+                    self.trace.record(now, "drop", sender=sender, receiver=receiver,
+                                      reason=decision.reason)
+                continue
+            accepted += 1
+            if owner[receiver] != me:
+                outbox.append((now + decision.delay, sender, receiver, payload))
+            elif decision.delay <= 0:
+                self._deliver(sender, receiver, payload)
+            else:
+                self.sim.schedule(decision.delay, self._deliver, sender, receiver, payload)
+        return accepted
+
+    def _shard_dispatch(self, sender: Hashable, payload: Any,
+                        receivers: List[Hashable], delivered, delays,
+                        reasons, now: float) -> int:
+        """Stock generic delivery loop plus the ownership fork.
+
+        Sends and drops are accounted at the deciding (sender) shard; a
+        delivery is accounted where it executes (the receiver's owner).
+        """
+        owner, me = self._shard_owner, self._shard_id
+        outbox = self._shard_outbox
+        processes = self._processes
+        schedule = self.sim.schedule
+        trace = self.trace
+        obs = self._obs
+        accepted = 0
+        for i, receiver in enumerate(receivers):
+            if not delivered[i]:
+                self.messages_dropped += 1
+                if obs is not None:
+                    self._obs_dropped.inc()
+                if trace is not None:
+                    trace.record(now, "drop", sender=sender, receiver=receiver,
+                                 reason=reasons[i] if reasons is not None else "loss")
+                continue
+            accepted += 1
+            delay = delays[i]
+            if owner[receiver] != me:
+                outbox.append((now + delay, sender, receiver, payload))
+            elif delay <= 0:
+                proc = processes.get(receiver)
+                if proc is None or not proc._active:
+                    continue
+                self.messages_delivered += 1
+                if obs is not None:
+                    self._obs_delivered.inc()
+                if trace is not None:
+                    trace.record(now, "receive", sender=sender, receiver=receiver)
+                proc.deliver(sender, payload)
+            else:
+                schedule(delay, self._deliver, sender, receiver, payload)
+        return accepted
+
+
+class ShardWorld:
+    """One shard's fully built slice of the run described by ``spec``."""
+
+    def __init__(self, spec: ShardSpec, shard_id: int):
+        if not 0 <= shard_id < spec.shards:
+            raise ValueError(f"shard_id {shard_id} out of range [0, {spec.shards})")
+        self.spec = spec
+        self.shard_id = shard_id
+        self.outbox: List[OutboxEntry] = []
+        self.shared_events = 0
+        self.remote_in = 0
+
+        deployment = build_scenario(
+            ScenarioSpec.create(spec.scenario, **dict(spec.params)), seed=spec.seed)
+        self.deployment = deployment
+        self.sim = deployment.sim
+        network = deployment.network
+        self.network = network
+        if type(network) is not Network:
+            raise ShardUnsupportedError(
+                f"cannot shard a {type(network).__name__}; only the stock Network "
+                "supports the ownership rebind")
+        network.use_spatial_index = spec.use_spatial_index
+        network.vectorized_delivery = spec.vectorized_delivery
+        network.array_state = spec.array_state
+
+        self.lookahead = self._swap_channel(network, spec.seed)
+
+        max_range = network.radio.max_range()
+        if max_range is None or max_range <= 0:
+            raise ShardUnsupportedError(
+                "sharding needs a bounded radio (max_range() > 0) to derive "
+                "spatial tiles and halo widths")
+        positions = dict(network.positions)
+        self.tiles = TileMap.from_positions(positions, max_range, spec.shards)
+        self.owners: Dict[Hashable, int] = self.tiles.assign(positions)
+        self.owned: List[Hashable] = sorted(
+            (nid for nid, tile in self.owners.items() if tile == shard_id), key=str)
+        owned_set = set(self.owned)
+
+        interior = self._interior_senders(positions, owned_set, max_range)
+        network.__class__ = ShardNetwork
+        network._shard_configure(self.owners, shard_id, self.outbox, interior)
+
+        self._count_mobility(network)
+        self.driver = self._attach_traffic(deployment, owned_set)
+        self.churn = self._install_churn(spec.churn)
+
+        deployment.start()
+        for nid in self.owners:
+            if nid not in owned_set:
+                _quiesce_timers(network.processes[nid])
+
+    # ------------------------------------------------------------------ build
+
+    def _swap_channel(self, network: Network, seed: int) -> float:
+        """Replace the built channel with a partition-invariant one.
+
+        Returns the cross-shard lookahead: the minimum delay any channel
+        decision can assign, i.e. how far ahead a shard may run before it
+        could receive something it has not been told about.
+        """
+        channel = network.channel
+        if isinstance(channel, CollisionChannel):
+            raise ShardUnsupportedError(
+                "CollisionChannel couples senders through receiver-side state "
+                "and cannot be partitioned bit-identically")
+        if isinstance(channel, LossyChannel):
+            network.channel = PerSenderChannel.from_lossy(
+                channel, derive_seed(seed, "shard/channel"))
+            return network.channel.min_delay
+        if isinstance(channel, PerfectChannel):
+            # Deterministic: no RNG to partition, keep it as built.
+            return channel.delay
+        raise ShardUnsupportedError(
+            f"cannot shard channel model {type(channel).__name__}")
+
+    def _interior_senders(self, positions, owned_set, max_range) -> FrozenSet[Hashable]:
+        """Owned senders that provably cannot reach another shard's nodes.
+
+        Only valid on static fields: mobility can carry a sender (or its
+        receivers) across the halo boundary mid-run.  With one shard, every
+        sender is interior — the whole run takes the stock pipeline, which
+        makes ``shards=1`` the natural reference fingerprint.
+        """
+        if self.spec.shards == 1:
+            return frozenset(owned_set)
+        if self.network.mobility is not None:
+            return frozenset()
+        lo, hi = self.tiles.x_interval(self.shard_id)
+        return frozenset(nid for nid in owned_set
+                         if lo + max_range <= positions[nid][0] < hi - max_range)
+
+    def _count_mobility(self, network: Network) -> None:
+        """Wrap the mobility model's step to count replicated tick events."""
+        model = network.mobility
+        if model is None:
+            return
+        original_step = model.step
+        world = self
+
+        def counted_step(positions, dt):
+            world.shared_events += 1
+            return original_step(positions, dt)
+
+        model.step = counted_step
+
+    def _attach_traffic(self, deployment, owned_set) -> Optional[TrafficDriver]:
+        spec = self.spec
+        if spec.traffic is None:
+            return None
+        name, params = spec.traffic
+        if name not in SUPPORTED_TRAFFIC:
+            raise ShardUnsupportedError(
+                f"traffic pattern {name!r} draws randomness over the whole node "
+                f"census and cannot be partitioned; supported: "
+                f"{sorted(SUPPORTED_TRAFFIC)}")
+        nodes = deployment.nodes
+        owned_nodes = {nid: nodes[nid] for nid in nodes if nid in owned_set}
+
+        def group_of(node_id, _nodes=nodes):
+            return _nodes[node_id].current_view()
+
+        seed = spec.traffic_seed if spec.traffic_seed is not None else spec.seed
+        driver = TrafficDriver(sim=self.sim, network=self.network,
+                               processes=owned_nodes,
+                               spec=TrafficSpec.create(name, **dict(params)),
+                               seed=seed, group_of=group_of)
+        driver.start()
+        return driver
+
+    def _install_churn(self, churn_rows) -> Optional[ChurnSchedule]:
+        if not churn_rows:
+            return None
+        schedule = ChurnSchedule([ChurnEvent(time=t, node_id=n, active=a)
+                                  for t, n, a in churn_rows])
+        for event in schedule.events:
+            self.sim.schedule_at(event.time, self._churn_fire, schedule, event)
+        return schedule
+
+    def _churn_fire(self, schedule: ChurnSchedule, event: ChurnEvent) -> None:
+        # Replicated in every shard: counted as shared so the merged
+        # processed_events subtracts the duplicates.
+        self.shared_events += 1
+        schedule._apply(self.network, event)
+
+    # ------------------------------------------------------------- round loop
+
+    def peek(self) -> Optional[float]:
+        """Earliest pending local event time (``None`` when idle)."""
+        return self.sim.peek_time()
+
+    def run_round(self, end: float, inclusive: bool) -> List[OutboxEntry]:
+        """Run one synchronized window and return the captured outbox."""
+        self.sim.run_window(end, inclusive=inclusive)
+        # Drain in place: the network holds a reference to this exact list.
+        out = self.outbox[:]
+        self.outbox.clear()
+        return out
+
+    def apply(self, round_time: float, entries: List[OutboxEntry]) -> None:
+        """Apply remote deliveries routed to this shard for the round at
+        ``round_time``.
+
+        Entries at the round time itself are zero-delay deliveries: the
+        stock pipeline delivers those inline from the broadcast (no event),
+        so they are applied inline here too — event-count parity.  Later
+        entries become ordinary ``_deliver`` events.
+        """
+        sim = self.sim
+        deliver = self.network._deliver
+        self.remote_in += len(entries)
+        for recv_time, sender, receiver, payload in entries:
+            if recv_time <= round_time:
+                sim.advance_clock(recv_time)
+                deliver(sender, receiver, payload)
+            else:
+                sim.schedule_at(recv_time, deliver, sender, receiver, payload)
+
+    # ---------------------------------------------------------------- results
+
+    def finish(self, duration: float) -> Dict[str, Any]:
+        """This shard's contribution to the merged run result."""
+        network = self.network
+        deployment = self.deployment
+        owned_set = set(self.owned)
+        nodes = deployment.nodes
+        channel = network.channel
+        parts: Dict[str, Any] = {
+            "shards": self.spec.shards,
+            "shard_id": self.shard_id,
+            "node_count": sum(1 for nid in nodes if nid in owned_set),
+            "total_nodes": len(nodes),
+            "processed_events": self.sim.processed_events,
+            "shared_events": self.shared_events,
+            "sent": network.messages_sent,
+            "delivered": network.messages_delivered,
+            "dropped": network.messages_dropped,
+            "remote_in": self.remote_in,
+            "sim_rng": repr(self.sim.rng.bit_generator.state),
+            "channel_rng": (channel.rng_states(owned_set)
+                            if isinstance(channel, PerSenderChannel) else {}),
+        }
+        if self.spec.fingerprint:
+            parts["views"] = {nid: view for nid, view in deployment.views().items()
+                              if nid in owned_set}
+            parts["edges"] = {frozenset(e) for e in deployment.topology().edges}
+            payload_sizes = []
+            computations = 0
+            for nid, node in nodes.items():
+                if nid not in owned_set:
+                    continue
+                message = GRPMessage.build(
+                    sender=node.node_id,
+                    alist=node.alist,
+                    priorities=node.priorities.snapshot(node.alist.nodes() | {node.node_id}),
+                    group_priority=node.group_priority(),
+                    view=node.view,
+                )
+                payload_sizes.append(message.size_estimate())
+                computations += node.computations
+            parts["payload_total"] = sum(payload_sizes)
+            parts["payload_count"] = len(payload_sizes)
+            parts["computations"] = computations
+        if self.driver is not None:
+            ledger = self.driver.ledger
+            # The obs handle is process-local and not picklable state worth
+            # shipping; drop it before the ledger crosses the pipe.
+            ledger._obs = None
+            ledger._obs_sends = None
+            ledger._obs_receptions = None
+            parts["ledger"] = ledger
+        return parts

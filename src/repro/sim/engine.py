@@ -216,6 +216,48 @@ class Simulator:
             heapq.heappop(self._queue)
         return self._queue[0].time if self._queue else None
 
+    def advance_clock(self, time: float) -> None:
+        """Move the clock forward to ``time`` without executing anything.
+
+        Used by synchronized-window executors (:mod:`repro.shard`) to align a
+        quiet shard with the global window time before applying remote
+        deliveries inline.  Refuses to jump over pending work: advancing past
+        a scheduled event would execute it with a lying clock later.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move the clock backwards ({time} < {self._now})")
+        next_time = self.peek_time()
+        if next_time is not None and next_time < time:
+            raise SimulationError(
+                f"cannot advance to {time}: event pending at {next_time}")
+        self._now = float(time)
+
+    def run_window(self, end: float, inclusive: bool = False,
+                   max_events: Optional[int] = None) -> int:
+        """Execute every pending event with ``time < end`` (``<= end`` when
+        ``inclusive``), in ``(time, seq)`` order, and return how many ran.
+
+        Unlike :meth:`run`, the clock is *not* advanced to ``end`` when the
+        queue runs dry: conservative window synchronization
+        (:mod:`repro.shard`) may still apply remote deliveries anywhere inside
+        the window, so the clock must trail the last executed event.  Events
+        scheduled during the window that still fall inside it are executed by
+        the same call (zero-delay cascades stay local).
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if (next_time > end) if inclusive else (next_time >= end):
+                break
+            if self.step():
+                executed += 1
+        return executed
+
     def step(self) -> bool:
         """Execute the next pending event.
 

@@ -188,6 +188,47 @@ class DeliveryLedger:
             self.replies_matched += 1
             self._rtts.append(now - sent)
 
+    def merge_from(self, other: "DeliveryLedger") -> None:
+        """Fold another ledger's accounting into this one.
+
+        Used by the sharded executor (:mod:`repro.shard`) to reassemble the
+        single-process ledger from per-shard ledgers over disjoint node
+        sets.  Every reported row is recomputed from the merged accumulators
+        — latency and RTT lists are sorted before any quantile or mean — so
+        the merge result is independent of shard count and merge order for
+        the quantities the reports expose.  (Receiver-side staleness is
+        recorded at delivery time against the *local* newest-seq table, so
+        cross-shard staleness is exact only for zero-delay application
+        channels.)
+        """
+        for key, tally in other._groups.items():
+            mine = self._groups.get(key)
+            if mine is None:
+                mine = self._groups[key] = _GroupTally()
+            mine.offered += tally.offered
+            mine.expected += tally.expected
+            mine.delivered += tally.delivered
+            mine.leaked += tally.leaked
+            mine.bytes_delivered += tally.bytes_delivered
+            mine.latencies.extend(tally.latencies)
+            mine.lag_total += tally.lag_total
+            mine.lag_max = max(mine.lag_max, tally.lag_max)
+        for sender, seq in other._latest_seq.items():
+            if seq > self._latest_seq.get(sender, -1):
+                self._latest_seq[sender] = seq
+        self._pending_requests.update(other._pending_requests)
+        self._rtts.extend(other._rtts)
+        self.messages_sent += other.messages_sent
+        self.receptions += other.receptions
+        self.requests_sent += other.requests_sent
+        self.replies_matched += other.replies_matched
+        if other._first_event is not None:
+            self._first_event = (other._first_event if self._first_event is None
+                                 else min(self._first_event, other._first_event))
+        if other._last_event is not None:
+            self._last_event = (other._last_event if self._last_event is None
+                                else max(self._last_event, other._last_event))
+
     # ----------------------------------------------------------- reporting
 
     def observed_span(self) -> float:

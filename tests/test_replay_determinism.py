@@ -180,3 +180,122 @@ def test_traffic_actually_flowed(traffic_runs):
     assert reference["app_sent"] > 0
     assert reference["app_receptions"] > 0
     assert reference["replies"] > 0
+
+
+# ------------------------------------------------- sharded executor on top
+
+#: The sharded executor (:mod:`repro.shard`) joins the backend matrix as a
+#: new axis: the same 500-node world, split across worker shards by spatial
+#: tile, must reproduce the ``shards=1`` fingerprint bit for bit — counters,
+#: views, edges, overhead report and the post-run RNG states (root sim
+#: stream + every per-sender channel stream).  The reference is the sharded
+#: engine at one shard: sharding swaps the global channel RNG for per-sender
+#: streams, so its fingerprint family is its own, anchored at k=1 where the
+#: whole run takes the stock single-process pipeline.
+SHARD_CELLS = {
+    "2shards+arraystate+vectorized": (2, True, True),
+    "2shards+dictstate+vectorized": (2, False, True),
+    "2shards+arraystate+scalar": (2, True, False),
+    "2shards+dictstate+scalar": (2, False, False),
+    "4shards+arraystate+vectorized": (4, True, True),
+    "4shards+dictstate+scalar": (4, False, False),
+}
+
+SHARD_CHURN = (tuple((1.0, i, False) for i in range(25))
+               + tuple((2.0, i, True) for i in range(25)))
+
+
+def shard_spec(shards, array_state=True, vectorized=True):
+    from repro.shard import ShardSpec
+
+    return ShardSpec.create(
+        "manet_waypoint",
+        params={"n": N, "area": 1500.0, "radio_range": 100.0, "dmax": 3,
+                "speed": 10.0, "loss_probability": 0.05},
+        seed=SEED, duration=DURATION, shards=shards,
+        array_state=array_state, vectorized_delivery=vectorized,
+        churn=SHARD_CHURN)
+
+
+def run_sharded_once(shards, array_state=True, vectorized=True, transport="inproc"):
+    from repro.shard import run_sharded
+
+    result = run_sharded(shard_spec(shards, array_state, vectorized),
+                         transport=transport)
+    return result.fingerprint, result.stats
+
+
+@pytest.fixture(scope="module")
+def sharded_reference():
+    fingerprint, _ = run_sharded_once(1)
+    return fingerprint
+
+
+@pytest.mark.parametrize("cell", list(SHARD_CELLS))
+def test_sharded_backends_replay_identically(sharded_reference, cell):
+    shards, array_state, vectorized = SHARD_CELLS[cell]
+    fingerprint, stats = run_sharded_once(shards, array_state, vectorized)
+    assert fingerprint == sharded_reference, (
+        f"sharded 500-node run diverged between 1 shard and {cell}")
+    # The split must be real: nodes crossing tile boundaries force actual
+    # cross-shard traffic, otherwise the cell proves nothing.
+    assert stats["remote_deliveries"] > 0
+
+
+def test_sharded_mp_transport_matches(sharded_reference):
+    """One OS process per shard (spawn context) replays the in-process
+    reference exactly — the pipe transport adds no nondeterminism."""
+    fingerprint, stats = run_sharded_once(2, transport="mp")
+    assert fingerprint == sharded_reference
+    assert stats["transport"] == "mp"
+    assert stats["remote_deliveries"] > 0
+
+
+def test_sharded_fingerprint_includes_rng_states(sharded_reference):
+    states = sharded_reference["rng_state"]
+    assert "sim" in states and "'bit_generator'" in states["sim"]
+    # Per-sender channel streams: every sender that ever broadcast reports
+    # its post-run state, keyed by node id.
+    assert len(states["channel"]) > 0
+    assert all("'bit_generator'" in state for state in states["channel"].values())
+
+
+@pytest.fixture(scope="module")
+def sharded_traffic_reference():
+    from repro.shard import run_sharded
+
+    return run_sharded(shard_traffic_spec(1))
+
+
+def shard_traffic_spec(shards):
+    from repro.shard import ShardSpec
+
+    return ShardSpec.create(
+        "manet_waypoint",
+        params={"n": TRAFFIC_N, "area": 900.0, "radio_range": 100.0, "dmax": 3,
+                "speed": 10.0, "loss_probability": 0.05},
+        seed=SEED, duration=TRAFFIC_DURATION, shards=shards,
+        churn=(tuple((1.0, i, False) for i in range(10))
+               + tuple((2.0, i, True) for i in range(10))),
+        traffic="request_reply", traffic_params={"interval": 1.0},
+        traffic_seed=SEED)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_sharded_traffic_replays_identically(sharded_traffic_reference, shards):
+    """Application workload (request/reply round trips) on the sharded
+    engine: the merged ledger — group rows, RTTs, totals — and the protocol
+    fingerprint must match the 1-shard reference at every shard count."""
+    from repro.shard import run_sharded
+
+    result = run_sharded(shard_traffic_spec(shards))
+    assert result.fingerprint == sharded_traffic_reference.fingerprint
+    assert result.traffic == sharded_traffic_reference.traffic
+    assert result.stats["remote_deliveries"] > 0
+
+
+def test_sharded_traffic_actually_flowed(sharded_traffic_reference):
+    traffic = sharded_traffic_reference.traffic
+    assert traffic["app_sent"] > 0
+    assert traffic["app_receptions"] > 0
+    assert traffic["replies"] > 0

@@ -95,7 +95,8 @@ class TestRegistry:
                        "ring_of_clusters", "manet_waypoint", "vanet_highway",
                        "rpgm_scenario", "large_manet_waypoint", "dense_highway_convoy"):
             assert legacy in names
-        for new in ("manhattan_grid", "flash_crowd", "sparse_lossy_field"):
+        for new in ("manhattan_grid", "flash_crowd", "sparse_lossy_field",
+                    "city_scale"):
             assert new in names
 
     def test_every_scenario_declares_dmax_and_descriptions(self):

@@ -1,0 +1,247 @@
+"""Unit tests of the sharding building blocks.
+
+The end-to-end bit-identity of the sharded executor lives in
+``tests/test_replay_determinism.py`` (sharded section); this module covers
+the pieces in isolation: tile cutting and ownership, the simulator's
+window/clock primitives, the per-sender channel RNG, and the explicit
+rejection of worlds that cannot shard bit-identically.
+"""
+
+import math
+
+import pytest
+
+from repro.net.channel import CollisionChannel
+from repro.net.spatialindex import x_tile_cuts
+from repro.shard import (PerSenderChannel, ShardSpec, ShardUnsupportedError,
+                         ShardWorld, TileMap)
+from repro.sim.engine import SimulationError, Simulator
+
+
+# ------------------------------------------------------------------- tiles
+
+class TestXTileCuts:
+    def test_balanced_partition_of_uniform_columns(self):
+        xs = [float(i) for i in range(100)]
+        cuts = x_tile_cuts(xs, cell_size=10.0, tiles=2)
+        assert len(cuts) == 1
+        # 10 occupied columns, balanced -> cut near the middle column.
+        assert cuts == [4]
+
+    def test_cuts_are_ascending_and_deterministic(self):
+        xs = [float((i * 37) % 500) for i in range(300)]
+        cuts = x_tile_cuts(xs, cell_size=25.0, tiles=4)
+        assert cuts == sorted(cuts)
+        assert len(set(cuts)) == len(cuts) == 3
+        assert cuts == x_tile_cuts(list(xs), cell_size=25.0, tiles=4)
+
+    def test_no_empty_tile_with_enough_columns(self):
+        # Heavily clustered mass must not starve the trailing tiles: the
+        # greedy cut reserves one column per remaining tile.
+        xs = [0.0] * 97 + [100.0, 200.0, 300.0]
+        cuts = x_tile_cuts(xs, cell_size=10.0, tiles=4)
+        assert len(cuts) == 3
+        assert cuts == sorted(set(cuts))
+
+    def test_single_tile_has_no_cuts(self):
+        assert x_tile_cuts([1.0, 2.0], cell_size=1.0, tiles=1) == []
+
+
+class TestTileMap:
+    def positions(self):
+        return {i: (float(i * 7 % 400), 0.0) for i in range(120)}
+
+    def test_assign_is_a_partition(self):
+        tiles = TileMap.from_positions(self.positions(), cell_size=40.0, tiles=3)
+        owners = tiles.assign(self.positions())
+        assert set(owners) == set(self.positions())
+        assert set(owners.values()) == {0, 1, 2}
+
+    def test_intervals_partition_the_axis(self):
+        tiles = TileMap.from_positions(self.positions(), cell_size=40.0, tiles=3)
+        lo0, hi0 = tiles.x_interval(0)
+        lo2, hi2 = tiles.x_interval(2)
+        assert lo0 == -math.inf and hi2 == math.inf
+        # Consecutive intervals abut exactly.
+        for tile in range(2):
+            assert tiles.x_interval(tile)[1] == tiles.x_interval(tile + 1)[0]
+
+    def test_interval_agrees_with_tile_of(self):
+        tiles = TileMap.from_positions(self.positions(), cell_size=40.0, tiles=3)
+        for x in [0.0, 39.9, 40.0, 123.4, 399.0, -50.0, 1e6]:
+            tile = tiles.tile_of_x(x)
+            lo, hi = tiles.x_interval(tile)
+            assert lo <= x < hi
+        assert tiles.tile_of((80.0, 55.0)) == tiles.tile_of_x(80.0)
+
+    def test_out_of_range_tile_rejected(self):
+        tiles = TileMap.from_positions(self.positions(), cell_size=40.0, tiles=2)
+        with pytest.raises(ValueError):
+            tiles.x_interval(2)
+
+
+# --------------------------------------------------- engine window primitives
+
+class TestWindowPrimitives:
+    def test_advance_clock_moves_time_without_events(self):
+        sim = Simulator(seed=1)
+        sim.advance_clock(2.5)
+        assert sim.now == 2.5
+        assert sim.processed_events == 0
+
+    def test_advance_clock_refuses_backwards(self):
+        sim = Simulator(seed=1)
+        sim.advance_clock(1.0)
+        with pytest.raises(SimulationError):
+            sim.advance_clock(0.5)
+
+    def test_advance_clock_refuses_to_jump_pending_work(self):
+        sim = Simulator(seed=1)
+        sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.advance_clock(2.0)
+
+    def test_run_window_exclusive_and_inclusive_bounds(self):
+        sim = Simulator(seed=1)
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule_at(t, fired.append, t)
+        assert sim.run_window(2.0, inclusive=False) == 1
+        assert fired == [1.0]
+        assert sim.run_window(2.0, inclusive=True) == 1
+        assert fired == [1.0, 2.0]
+
+    def test_run_window_clock_trails_last_event(self):
+        # The clock must NOT advance to the window end on a dry queue:
+        # remote deliveries may still be applied inside the window.
+        sim = Simulator(seed=1)
+        sim.schedule_at(1.0, lambda: None)
+        sim.run_window(5.0)
+        assert sim.now == 1.0
+
+    def test_run_window_executes_cascades_inside_window(self):
+        sim = Simulator(seed=1)
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(0.0, chain, depth + 1)
+
+        sim.schedule_at(1.0, chain, 0)
+        assert sim.run_window(2.0) == 4
+        assert fired == [0, 1, 2, 3]
+
+
+# ------------------------------------------------------- per-sender channel
+
+class TestPerSenderChannel:
+    def test_decisions_invariant_to_other_senders(self):
+        """Sender A's decision stream must not move when sender B's
+        broadcasts interleave — the property that makes the stream
+        invariant under any partitioning of the senders across shards."""
+        receivers = list(range(20))
+        lone = PerSenderChannel(0.4, 0.0, 0.0, master_seed=99)
+        mixed = PerSenderChannel(0.4, 0.0, 0.0, master_seed=99)
+        lone_batches = [lone.decide_batch("A", receivers, t) for t in (0.0, 1.0)]
+        first = mixed.decide_batch("A", receivers, 0.0)
+        mixed.decide_batch("B", receivers, 0.5)
+        second = mixed.decide_batch("A", receivers, 1.0)
+        for ours, theirs in zip(lone_batches, (first, second)):
+            assert list(ours.delivered) == list(theirs.delivered)
+            assert list(ours.delays) == list(theirs.delays)
+
+    def test_same_master_seed_replays(self):
+        a = PerSenderChannel(0.3, 0.05, 0.2, master_seed=7)
+        b = PerSenderChannel(0.3, 0.05, 0.2, master_seed=7)
+        da = a.decide("s", "r", 0.0)
+        db = b.decide("s", "r", 0.0)
+        assert (da.delivered, da.delay) == (db.delivered, db.delay)
+
+    def test_counters_aggregate_over_senders(self):
+        channel = PerSenderChannel(0.5, 0.0, 0.0, master_seed=3)
+        for sender in ("A", "B"):
+            channel.decide_batch(sender, list(range(50)), 0.0)
+        assert channel.dropped + channel.delivered == 100
+        assert channel.dropped > 0 and channel.delivered > 0
+
+    def test_rng_states_restrict_to_requested_senders(self):
+        channel = PerSenderChannel(0.5, 0.0, 0.0, master_seed=3)
+        channel.decide("A", "r", 0.0)
+        channel.decide("B", "r", 0.0)
+        assert set(channel.rng_states()) == {"A", "B"}
+        assert set(channel.rng_states(senders={"A"})) == {"A"}
+        # Senders that never broadcast have no materialized stream.
+        assert "C" not in channel.rng_states()
+
+    def test_from_lossy_copies_parameters(self):
+        from repro.net.channel import LossyChannel
+        wrapped = PerSenderChannel.from_lossy(
+            LossyChannel(0.25, 0.1, 0.3), master_seed=11)
+        assert wrapped.loss_probability == 0.25
+        assert wrapped.min_delay == 0.1
+        assert wrapped.max_delay == 0.3
+
+
+# --------------------------------------------------- unsupported-world guard
+
+from repro.core.node import GRPConfig  # noqa: E402
+from repro.core.protocol import build_grp_network  # noqa: E402
+from repro.net.network import Network  # noqa: E402
+from repro.scenarios.registry import ScenarioParameter, scenario  # noqa: E402
+
+
+@scenario("shardtest_collision",
+          "collision-channel world (sharding must refuse it)",
+          [ScenarioParameter("n", "int", 6, "nodes"),
+           ScenarioParameter("dmax", "int", 3, "diameter bound")],
+          tags=("test",))
+def _collision_world(*, seed, config, n, dmax):
+    positions = {i: (float(i * 30), 0.0) for i in range(n)}
+    channel = CollisionChannel(collision_window=0.1)
+    return build_grp_network(positions, config or GRPConfig(dmax=dmax),
+                             radio_range=50.0, channel=channel, seed=seed)
+
+
+@scenario("shardtest_subclassed_net",
+          "network-subclass world (sharding must refuse it)",
+          [ScenarioParameter("n", "int", 6, "nodes"),
+           ScenarioParameter("dmax", "int", 3, "diameter bound")],
+          tags=("test",))
+def _subclassed_world(*, seed, config, n, dmax):
+    positions = {i: (float(i * 30), 0.0) for i in range(n)}
+    deployment = build_grp_network(positions, config or GRPConfig(dmax=dmax),
+                                   radio_range=50.0, seed=seed)
+
+    class _OddNetwork(Network):
+        pass
+
+    deployment.network.__class__ = _OddNetwork
+    return deployment
+
+
+class TestUnsupportedWorlds:
+    def test_collision_channel_rejected(self):
+        spec = ShardSpec.create("shardtest_collision", seed=1, duration=1.0, shards=2)
+        with pytest.raises(ShardUnsupportedError, match="[Cc]ollision"):
+            ShardWorld(spec, 0)
+
+    def test_network_subclass_rejected(self):
+        spec = ShardSpec.create("shardtest_subclassed_net", seed=1, duration=1.0,
+                                shards=2)
+        with pytest.raises(ShardUnsupportedError):
+            ShardWorld(spec, 0)
+
+    def test_bursty_pubsub_traffic_rejected(self):
+        spec = ShardSpec.create(
+            "static_random", params={"n": 10}, seed=1, duration=1.0, shards=2,
+            traffic="bursty_pubsub")
+        with pytest.raises(ShardUnsupportedError, match="bursty_pubsub"):
+            ShardWorld(spec, 0)
+
+    def test_supported_world_constructs(self):
+        spec = ShardSpec.create("static_random", params={"n": 10}, seed=1,
+                                duration=1.0, shards=2)
+        world = ShardWorld(spec, 0)
+        assert world.lookahead == 0.0
+        assert 0 < len(world.owned) < 10
