@@ -6,6 +6,7 @@ from .highway import HighwayMobility
 from .random_walk import RandomWalkMobility
 from .random_waypoint import RandomWaypointMobility
 from .rpgm import ReferencePointGroupMobility
+from .sparse_waypoint import SparseWaypointMobility
 from .static import StaticMobility
 
 __all__ = [
@@ -17,5 +18,6 @@ __all__ = [
     "RandomWalkMobility",
     "RandomWaypointMobility",
     "ReferencePointGroupMobility",
+    "SparseWaypointMobility",
     "StaticMobility",
 ]

@@ -1,0 +1,67 @@
+"""Sparse random waypoint mobility: only a fixed fraction of nodes move.
+
+Mega-world workloads (:mod:`repro.scenarios`' ``city_scale_mobile``) model a
+mostly parked urban field where a small share of vehicles circulate.  The
+model picks its mover subset once — a deterministic draw over the node ids in
+sorted order — and thereafter steps exactly those nodes with the parent
+random-waypoint kinematics, echoing every other node's position tuple
+unchanged.  The echo is load-bearing twice over: it is the delta-notification
+contract of :mod:`repro.mobility.base` (unmoved nodes cost nothing
+downstream), and it keeps the per-step dirty-row set small enough that the
+array link-state's incremental CSR patch stays engaged
+(:class:`repro.net.arraystate.ArrayLinkState`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .random_waypoint import RandomWaypointMobility
+
+__all__ = ["SparseWaypointMobility"]
+
+Point = Tuple[float, float]
+
+
+class SparseWaypointMobility(RandomWaypointMobility):
+    """Random waypoint restricted to a ``mover_fraction`` subset of nodes.
+
+    Parameters are those of :class:`RandomWaypointMobility` plus
+    ``mover_fraction`` in ``(0, 1]`` — the share of nodes that move (at
+    least one).  The subset is drawn on the first :meth:`step` from the node
+    ids sorted by string form, so it is a pure function of the rng state and
+    the census, independent of dict iteration order.
+    """
+
+    def __init__(self, area: Tuple[float, float], min_speed: float,
+                 max_speed: float, mover_fraction: float = 0.01,
+                 pause_time: float = 0.0, step_interval: float = 1.0,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(area, min_speed, max_speed, pause_time=pause_time,
+                         step_interval=step_interval, rng=rng)
+        if not 0.0 < mover_fraction <= 1.0:
+            raise ValueError("mover_fraction must be in (0, 1]")
+        self.mover_fraction = float(mover_fraction)
+        self._movers: Optional[frozenset] = None
+
+    def _select_movers(self, positions: Mapping[Hashable, Point]) -> frozenset:
+        nodes = sorted(positions, key=str)
+        count = max(1, int(round(self.mover_fraction * len(nodes))))
+        count = min(count, len(nodes))
+        chosen = self._rng.choice(len(nodes), size=count, replace=False)
+        return frozenset(nodes[int(index)] for index in chosen)
+
+    def step(self, positions: Mapping[Hashable, Point],
+             dt: float) -> Dict[Hashable, Point]:
+        if self._movers is None:
+            self._movers = self._select_movers(positions)
+        movers = self._movers
+        # Step only the mover sub-mapping (in the full mapping's iteration
+        # order, so lazily created waypoint states draw rng in a stable
+        # order), then echo everyone else's tuple through untouched.
+        stepped = super().step(
+            {node: pos for node, pos in positions.items() if node in movers}, dt)
+        return {node: (stepped[node] if node in movers else pos)
+                for node, pos in positions.items()}

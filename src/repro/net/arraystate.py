@@ -204,22 +204,51 @@ class ArrayLinkState:
     every stock scenario.  Non-uniform radios keep the dict-based incremental
     cache.
 
-    The CSR arrays are rebuilt lazily (first query after any position /
-    membership delta) by one vectorized pass; between topology changes every
-    query is an array slice.  Unlike the dict cache there is no per-delta
-    patching: at high mobility a wholesale vectorized rebuild is cheaper than
-    python-level per-mover patching, and at low mobility the dirty flag makes
-    idle steps free.
+    The CSR arrays are refreshed lazily (first query after any position /
+    membership delta).  Two refresh strategies share the same filtered arc
+    predicate:
+
+    * **full rebuild** (:meth:`_rebuild`) — one vectorized cell-binning pass
+      over every row; the reference implementation and the fallback.
+    * **incremental patch** (:meth:`_patch`) — when only a small fraction of
+      rows moved since the last build (``mark_row_dirty`` /
+      ``mark_rows_dirty``, fed by ``Network`` moves and bulk position
+      writes), re-derive just the arcs with a moved endpoint from the cell
+      binning cached at the last full rebuild, and splice them into the kept
+      remainder of the CSR.  The array analogue of the dict cache's
+      per-delta patching (:mod:`repro.net.linkstate`), with the same
+      guard-band + scalar ``math.hypot`` re-check — the patched CSR is
+      provably byte-identical to what :meth:`_rebuild` would produce (see
+      the :meth:`_patch` docstring for the argument).
+
+    Membership changes (insert / remove) and wholesale invalidations always
+    force a full rebuild; at high mobility the dirty-fraction threshold does
+    the same, because a wholesale vectorized rebuild is then cheaper than
+    patch bookkeeping.
 
     Query results mirror :class:`~repro.net.linkstate.LinkStateCache`
     bit-for-bit: same link membership (guard-banded squared-distance filter,
     see module docstring), same insertion-order sorting of adjacency.
     """
 
+    #: Patch only when at most this fraction of rows is dirty (past it, a
+    #: wholesale rebuild is cheaper than per-mover candidate harvesting).
+    PATCH_MAX_FRACTION = 0.05
+    #: ... but always allow patching a handful of rows, so small worlds
+    #: (tests, examples) exercise the patch path too.
+    PATCH_MIN_ROWS = 8
+    #: Rebuild once the rows whose cached-binning cell went stale (every row
+    #: that moved since the last full rebuild) exceed this fraction — the
+    #: patch mini-pass degrades toward a full pass as the stale set grows.
+    STALE_MAX_FRACTION = 0.25
+
     def __init__(self, radius: float, store: NodeArrayStore,
-                 now_fn: Optional[Callable[[], float]] = None, obs=...):
+                 now_fn: Optional[Callable[[], float]] = None, obs=...,
+                 incremental: bool = True):
         self.radius = float(radius)
         self.store = store
+        #: serve small position deltas by patching the CSR in place
+        self.incremental = bool(incremental)
         #: sim-clock reader for span correlation (the owning network passes
         #: its simulator's ``now``); purely observational.
         self._now_fn = now_fn
@@ -245,17 +274,57 @@ class ArrayLinkState:
         self._recv_indptr: List[int] = [0]
         self._recv_ids = np.empty(0, dtype=object)
         self._recv_procs = np.empty(0, dtype=object)
+        self._recv_rows = np.empty(0, dtype=np.int64)
+        # Incremental-patch bookkeeping: which rows moved since the last CSR
+        # refresh (``_dirty_rows``), which rows' cached-binning cell is
+        # outdated though their CSR rows are current (``_stale_rows``), and
+        # whether the next refresh must be a full rebuild (``_full`` — set by
+        # membership changes and wholesale invalidations).
+        self._dirty_rows: set = set()
+        self._stale_rows: set = set()
+        self._full = True
+        # Cell binning cached by the last full rebuild (``None`` = no cache):
+        # sorted-slot -> row permutation, unique occupied cell ids with their
+        # bucket starts/counts, and the linearization parameters needed to
+        # look up an arbitrary cell id after the fact.
+        self._bin_perm: Optional[np.ndarray] = None
+        self._bin_ucells = np.empty(0, dtype=np.int64)
+        self._bin_starts = np.empty(0, dtype=np.int64)
+        self._bin_counts = np.empty(0, dtype=np.int64)
+        self._bin_cx0 = 0
+        self._bin_ymin = 0
+        self._bin_ymax = 0
+        self._bin_span = 1
+        #: refresh-path counters (tests and benchmarks assert which path ran)
+        self.rebuild_count = 0
+        self.patch_count = 0
 
     # ------------------------------------------------------------------ deltas
 
     def mark_dirty(self) -> None:
-        """Positions / membership changed; rebuild on the next query."""
+        """Positions / membership changed wholesale; rebuild on the next query."""
         self._dirty = True
+        self._full = True
+        self._dirty_rows.clear()
+
+    def mark_row_dirty(self, row: int) -> None:
+        """One row's position changed; patch (or rebuild) on the next query."""
+        self._dirty = True
+        if not self._full:
+            self._dirty_rows.add(row)
+
+    def mark_rows_dirty(self, rows: np.ndarray) -> None:
+        """A batch of rows' positions changed (bulk mobility write)."""
+        if len(rows) == 0:
+            return
+        self._dirty = True
+        if not self._full:
+            self._dirty_rows.update(np.asarray(rows).tolist())
 
     # ----------------------------------------------------------------- rebuild
 
-    def _candidate_pairs(self, xy: np.ndarray,
-                         r: float) -> Tuple[np.ndarray, np.ndarray]:
+    def _candidate_pairs(self, xy: np.ndarray, r: float,
+                         save: bool = False) -> Tuple[np.ndarray, np.ndarray]:
         """All row pairs (i, j) that could be within ``r``, each exactly once.
 
         Classic cell-list harvest, fully vectorized: bin rows into cells of
@@ -263,6 +332,10 @@ class ArrayLinkState:
         cross-cell pairs via the four forward neighbour offsets, using
         ragged-range ``repeat``/``cumsum`` arithmetic — no python loop over
         cells or nodes.
+
+        ``save=True`` additionally caches the cell binning (permutation,
+        occupied-cell buckets, linearization parameters) for later
+        incremental patching against these positions.
         """
         n = xy.shape[0]
         empty = np.empty(0, dtype=np.int64)
@@ -273,8 +346,10 @@ class ArrayLinkState:
         # Linearize with a padded column span so +-1 offsets in y never wrap
         # into a neighbouring x column.
         ymin = cy.min()
-        span = int(cy.max() - ymin) + 3
-        cid = (cx - cx.min() + 1) * span + (cy - ymin + 1)
+        ymax = cy.max()
+        cx0 = cx.min()
+        span = int(ymax - ymin) + 3
+        cid = (cx - cx0 + 1) * span + (cy - ymin + 1)
         sort = np.argsort(cid, kind="stable")
         cid_s = cid[sort]
         # Bucket boundaries over the sorted cell ids.
@@ -284,6 +359,15 @@ class ArrayLinkState:
         starts = np.flatnonzero(boundary)
         ucells = cid_s[starts]
         counts = np.diff(np.append(starts, n))
+        if save:
+            self._bin_perm = sort
+            self._bin_ucells = ucells
+            self._bin_starts = starts
+            self._bin_counts = counts
+            self._bin_cx0 = int(cx0)
+            self._bin_ymin = int(ymin)
+            self._bin_ymax = int(ymax)
+            self._bin_span = span
         # bucket index and in-bucket rank of every sorted slot
         bucket_of = np.cumsum(boundary) - 1
         rank = np.arange(n, dtype=np.int64) - starts[bucket_of]
@@ -357,7 +441,8 @@ class ArrayLinkState:
         n = store.n
         r = self.radius
         xy = store.xy[:n]
-        rows_i, rows_j = self._candidate_pairs(xy, r)
+        self._bin_perm = None
+        rows_i, rows_j = self._candidate_pairs(xy, r, save=self.incremental)
         if rows_i.size:
             keep = self._filter_within(xy, rows_i, rows_j, r)
             rows_i, rows_j = rows_i[keep], rows_j[keep]
@@ -387,14 +472,192 @@ class ArrayLinkState:
         self._m = m
         self._built_n = n
         self._dirty = False
+        self._full = False
+        self._dirty_rows.clear()
+        self._stale_rows.clear()
+        self.rebuild_count += 1
         if obs is not None:
             now = self._now_fn() if self._now_fn is not None else 0.0
             obs.record_span("topology.csr_rebuild", now, t0,
                             {"nodes": n, "arcs": m})
 
+    # ------------------------------------------------------------------- patch
+
+    def _patch_candidates(self, dm: np.ndarray,
+                          in_subset: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate pairs (dirty row, unmoved row) from the cached binning.
+
+        For every dirty row, harvest the rows binned (at the last full
+        rebuild) into the 3x3 cell block around the dirty row's *current*
+        cell.  Rows in ``in_subset`` (dirty or stale — their cached cell is
+        outdated) are excluded here and handled by the mini-pass instead.
+        Unmoved rows sit exactly where the binning put them, so this covers
+        every possible (dirty, unmoved) link: two points within ``r`` always
+        fall in adjacent cells of side ``r``.  Cells outside the bbox the
+        binning ever occupied hold no rows, so out-of-range neighbour cells
+        are simply dropped (sentinel id that matches no bucket).
+        """
+        r = self.radius
+        xy = self.store.xy
+        cells = np.floor(xy[dm] / r).astype(np.int64)
+        mcx, mcy = cells[:, 0], cells[:, 1]
+        span = self._bin_span
+        ucells = self._bin_ucells
+        last = len(ucells) - 1
+        src_parts: List[np.ndarray] = []
+        lo_parts: List[np.ndarray] = []
+        len_parts: List[np.ndarray] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                ncx = mcx + dx
+                ncy = mcy + dy
+                # The linearization is injective only for y-cells within one
+                # ring of the build-time range; anything else was provably
+                # unoccupied at build time (sentinel -1 never matches: every
+                # occupied cell id is >= span + 1 > 0).
+                valid = (ncy >= self._bin_ymin - 1) & (ncy <= self._bin_ymax + 1)
+                target = np.where(
+                    valid, (ncx - self._bin_cx0 + 1) * span + (ncy - self._bin_ymin + 1),
+                    -1)
+                pos_c = np.minimum(np.searchsorted(ucells, target), last)
+                hit = ucells[pos_c] == target
+                src_parts.append(dm)
+                lo_parts.append(np.where(hit, self._bin_starts[pos_c], 0))
+                len_parts.append(np.where(hit, self._bin_counts[pos_c], 0))
+        src = np.concatenate(src_parts)
+        lo = np.concatenate(lo_parts)
+        lengths = np.concatenate(len_parts)
+        keep = lengths > 0
+        src, lo, lengths = src[keep], lo[keep], lengths[keep]
+        total = int(lengths.sum())
+        empty = np.empty(0, dtype=np.int64)
+        if not total:
+            return empty, empty
+        first = np.zeros(len(lengths), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=first[1:])
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(first, lengths)
+        pair_i = np.repeat(src, lengths)
+        pair_j = self._bin_perm[lo.repeat(lengths) + offsets]
+        keep_j = ~in_subset[pair_j]
+        return pair_i[keep_j], pair_j[keep_j]
+
+    def _patch(self) -> None:
+        """Splice the arcs of the dirty rows into the existing CSR.
+
+        Byte-identical to :meth:`_rebuild` by construction:
+
+        * an arc can only appear/disappear if an endpoint moved, i.e. has a
+          dirty endpoint — so dropping every old arc with a dirty endpoint
+          and re-deriving exactly the pairs with >= 1 dirty endpoint touches
+          the complete change set;
+        * candidate coverage: (dirty, unmoved) pairs come from the cached
+          binning (:meth:`_patch_candidates`); pairs where *both* endpoints
+          moved since the last rebuild (dirty or stale — stale rows' CSR is
+          current but their cached cell is not) come from a fresh mini
+          cell-binning pass over just those rows.  The two sources partition
+          the candidate space, so no pair is emitted twice;
+        * the exact same guard-banded ``math.hypot`` filter decides
+          membership, on the same float subtractions (``hypot`` is symmetric
+          under the sign flip of reversing a pair);
+        * the merge keeps the CSR invariant — rows grouped by source,
+          receivers sorted by insertion order — via the same unique fused
+          key the rebuild sorts by, so the merged arrays equal a full
+          rebuild's output element for element.
+        """
+        obs = self._obs
+        t0 = obs.clock() if obs is not None else 0
+        store = self.store
+        n = self._built_n
+        r = self.radius
+        xy = store.xy[:n]
+        dm = np.fromiter(self._dirty_rows, dtype=np.int64,
+                         count=len(self._dirty_rows))
+        dm.sort()
+        dirty_mask = np.zeros(n, dtype=bool)
+        dirty_mask[dm] = True
+        # Rows whose position postdates the cached binning: dirty now, or
+        # moved by an earlier patch (stale).  The mini-pass re-bins these.
+        in_subset = dirty_mask.copy()
+        if self._stale_rows:
+            in_subset[np.fromiter(self._stale_rows, dtype=np.int64,
+                                  count=len(self._stale_rows))] = True
+        sub_rows = np.flatnonzero(in_subset)
+        # (dirty, unmoved) candidates from the cached binning ...
+        cand_i, cand_j = self._patch_candidates(dm, in_subset)
+        # ... plus (moved, moved) candidates from a mini-pass over the moved
+        # subset at current positions, kept only when a dirty row is involved
+        # (stale-stale pairs are already correct in the CSR).
+        sub_i, sub_j = self._candidate_pairs(xy[sub_rows], r)
+        if sub_i.size:
+            sub_i = sub_rows[sub_i]
+            sub_j = sub_rows[sub_j]
+            keep_dirty = dirty_mask[sub_i] | dirty_mask[sub_j]
+            sub_i, sub_j = sub_i[keep_dirty], sub_j[keep_dirty]
+            cand_i = np.concatenate([cand_i, sub_i])
+            cand_j = np.concatenate([cand_j, sub_j])
+        if cand_i.size:
+            keep = self._filter_within(xy, cand_i, cand_j, r)
+            cand_i, cand_j = cand_i[keep], cand_j[keep]
+        # Old arcs that survive: neither endpoint dirty.  (Arcs with a stale
+        # endpoint were patched current when that endpoint was dirty.)
+        m_old = self._m
+        src_old = np.repeat(np.arange(n, dtype=np.int64),
+                            np.diff(self._indptr[:n + 1]))
+        dst_old = self._indices[:m_old].astype(np.int64, copy=False)
+        keep_old = ~(dirty_mask[src_old] | dirty_mask[dst_old])
+        src_k, dst_k = src_old[keep_old], dst_old[keep_old]
+        # New arcs: both directions of every surviving candidate pair.
+        src_new = np.concatenate([cand_i, cand_j])
+        dst_new = np.concatenate([cand_j, cand_i])
+        order = store.order[:n]
+        stride = int(order.max()) + 1 if n else 1
+        # Kept arcs inherit the CSR's ordering, so their fused keys are
+        # already ascending; sort only the (small) new-arc set and merge
+        # positionally.  Keys are unique per arc and the two sets are
+        # disjoint (kept arcs have no dirty endpoint, new arcs have one).
+        key_k = src_k * stride + order[dst_k]
+        key_n = src_new * stride + order[dst_new]
+        perm = np.argsort(key_n)
+        src_new, dst_new, key_n = src_new[perm], dst_new[perm], key_n[perm]
+        m = len(src_k) + len(src_new)
+        if self._indices.shape[0] < m:
+            self._indices = np.empty(max(m, 2 * self._indices.shape[0]),
+                                     dtype=np.int32)
+        out_pos_new = np.searchsorted(key_k, key_n) + np.arange(len(key_n),
+                                                               dtype=np.int64)
+        old_mask = np.ones(m, dtype=bool)
+        old_mask[out_pos_new] = False
+        merged = np.empty(m, dtype=np.int32)
+        merged[old_mask] = dst_k
+        merged[out_pos_new] = dst_new
+        self._indices[:m] = merged
+        counts = np.bincount(src_k, minlength=n) + np.bincount(src_new,
+                                                               minlength=n)
+        self._indptr[0] = 0
+        np.cumsum(counts, out=self._indptr[1:n + 1])
+        self._m = m
+        self._dirty = False
+        self._stale_rows.update(self._dirty_rows)
+        self._dirty_rows.clear()
+        self.patch_count += 1
+        if obs is not None:
+            now = self._now_fn() if self._now_fn is not None else 0.0
+            obs.record_span("topology.csr_patch", now, t0,
+                            {"nodes": n, "arcs": m, "dirty": len(dm)})
+
     def _ensure(self) -> None:
-        if self._dirty or self._built_n != self.store.n:
+        if not (self._dirty or self._built_n != self.store.n):
+            return
+        n = self.store.n
+        dirty = len(self._dirty_rows)
+        if (self._full or not self.incremental or self._bin_perm is None
+                or self._built_n != n or dirty == 0
+                or dirty > max(self.PATCH_MIN_ROWS, self.PATCH_MAX_FRACTION * n)
+                or (dirty + len(self._stale_rows)
+                    > self.STALE_MAX_FRACTION * n)):
             self._rebuild()
+        else:
+            self._patch()
 
     # ----------------------------------------------------------------- queries
 
@@ -437,6 +700,7 @@ class ArrayLinkState:
         self._recv_indptr = csum[self._indptr[:n + 1]].tolist()
         self._recv_ids = self.store.ids[kept]
         self._recv_procs = self.store.procs[kept]
+        self._recv_rows = kept
         self._active_token = token
 
     def active_receivers(self, node: Hashable,
@@ -457,6 +721,21 @@ class ArrayLinkState:
         lo = indptr[row]
         hi = indptr[row + 1]
         return self._recv_ids[lo:hi].tolist(), self._recv_procs[lo:hi]
+
+    def active_receiver_rows(self, node: Hashable, token: object) -> np.ndarray:
+        """Store-row indices of the batch :meth:`active_receivers` returns.
+
+        Same token discipline and ordering as :meth:`active_receivers`; the
+        rows are only stable until the next membership change (callers key
+        their caches on the same generation token).  The sharded executor
+        gathers per-receiver ownership from these in one indexing operation.
+        """
+        if (token != self._active_token or self._dirty
+                or self._built_n != self.store.n):
+            self._refresh_active(token)
+        indptr = self._recv_indptr
+        row = self.store.row_of[node]
+        return self._recv_rows[indptr[row]:indptr[row + 1]]
 
     def out_neighbors(self, node: Hashable) -> List[Hashable]:
         """Link partners of ``node`` (dict-cache API mirror)."""

@@ -54,7 +54,6 @@ shrink the receiver set — differently than the scalar path.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 import networkx as nx
@@ -111,6 +110,12 @@ class Network:
         uniform link radius (default).  Disable to force the dict-based
         incremental cache, e.g. to benchmark or to cross-check the array
         backend; seeded runs are bit-identical either way.
+    incremental_csr:
+        Serve small position deltas by patching the CSR adjacency in place
+        (default) instead of rebuilding it wholesale; membership changes and
+        large deltas always rebuild.  Disable to force the full rebuild as
+        the reference path; seeded runs are bit-identical either way (the
+        patch provably reproduces the rebuild's arrays).
     """
 
     def __init__(self, sim: Simulator, radio: RadioModel,
@@ -119,7 +124,8 @@ class Network:
                  trace: Optional[TraceRecorder] = None,
                  use_spatial_index: bool = True,
                  vectorized_delivery: bool = True,
-                 array_state: bool = True):
+                 array_state: bool = True,
+                 incremental_csr: bool = True):
         self.sim = sim
         self.radio = radio
         self.channel = channel if channel is not None else PerfectChannel()
@@ -131,10 +137,13 @@ class Network:
         self.use_spatial_index = bool(use_spatial_index)
         self.vectorized_delivery = bool(vectorized_delivery)
         self.array_state = bool(array_state)
+        self.incremental_csr = bool(incremental_csr)
         self._processes: Dict[Hashable, Process] = {}
         self._positions: Dict[Hashable, Point] = {}
         self._order: Dict[Hashable, int] = {}
-        self._order_counter = itertools.count()
+        # A plain int, not itertools.count(): counts don't pickle, and the
+        # sharded snapshot-restore path serializes built networks wholesale.
+        self._next_order = 0
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -147,13 +156,15 @@ class Network:
         self._position_listeners: List[Callable[[float, Dict[Hashable, Point]], None]] = []
         self._index: Optional[UniformGridIndex] = None
         #: sender -> (generation, linkstate, active sorted receivers, their
-        #: processes, all-stock-deliver flag); hello-beacon traffic
-        #: re-broadcasts between topology changes, so the filtered receiver
-        #: batch is reused until a position/membership/activation change bumps
-        #: the generation or a radio change replaces the link-state cache.
+        #: processes as list and object ndarray, their store rows or None);
+        #: hello-beacon traffic re-broadcasts between topology changes, so the
+        #: filtered receiver batch is reused until a position/membership/
+        #: activation change bumps the generation or a radio change replaces
+        #: the link-state cache.
         self._receiver_cache: Dict[Hashable,
                                    Tuple[int, Any, List[Hashable],
-                                         List[Process], bool]] = {}
+                                         List[Process], np.ndarray,
+                                         Optional[np.ndarray]]] = {}
         self._generation = 0
         self._topo_cache: Optional[nx.Graph] = None
         self._topo_cache_key: Optional[Tuple[int, Optional[float]]] = None
@@ -171,6 +182,16 @@ class Network:
         self._obs_broadcasts = obs.registry.counter("net.broadcasts") if obs else None
         self._obs_delivered = obs.registry.counter("net.delivered") if obs else None
         self._obs_dropped = obs.registry.counter("net.dropped") if obs else None
+
+    def __setstate__(self, state):
+        """Re-register the radio mutation listener after unpickling.
+
+        The radio drops its (weak, process-local) listener list when
+        pickled, so a restored network must subscribe again or in-place
+        radio mutations would silently serve stale neighbourhoods.
+        """
+        self.__dict__.update(state)
+        self.radio.add_mutation_listener(self.invalidate_topology)
 
     # ------------------------------------------------------------- topology
 
@@ -239,6 +260,25 @@ class Network:
         if not self._array_state:
             self._store = None
             self._array_ls = None
+
+    @property
+    def incremental_csr(self) -> bool:
+        """Whether small position deltas patch the CSR instead of rebuilding.
+
+        Toggling propagates to a live :class:`ArrayLinkState`; turning the
+        patch path off additionally forces one full rebuild so every later
+        refresh runs the reference path from reference state.
+        """
+        return self._incremental_csr
+
+    @incremental_csr.setter
+    def incremental_csr(self, value: bool) -> None:
+        self._incremental_csr = bool(value)
+        als = getattr(self, "_array_ls", None)
+        if als is not None:
+            als.incremental = self._incremental_csr
+            if not self._incremental_csr:
+                als.mark_dirty()
 
     def position_of(self, node_id: Hashable) -> Point:
         """Current position of ``node_id``."""
@@ -311,7 +351,7 @@ class Network:
         for k, xy in zip(moved.tolist(), coords[moved].tolist()):
             positions[ids[k]] = (xy[0], xy[1])
         if self._array_ls is not None:
-            self._array_ls.mark_dirty()
+            self._array_ls.mark_rows_dirty(rows[moved])
         self._generation += 1
 
     def _apply_position_updates(self, updates: Dict[Hashable, Point]) -> None:
@@ -351,7 +391,7 @@ class Network:
         if self._linkstate is not None:
             self._linkstate.on_move(node_id)
         if self._array_ls is not None:
-            self._array_ls.mark_dirty()
+            self._array_ls.mark_row_dirty(self._store.row_of[node_id])
 
     def invalidate_topology(self) -> None:
         """Force the next snapshot/neighbour query to recompute.
@@ -399,7 +439,8 @@ class Network:
         pos = (float(position[0]), float(position[1]))
         self._processes[process.node_id] = process
         self._positions[process.node_id] = pos
-        order = next(self._order_counter)
+        order = self._next_order
+        self._next_order += 1
         self._order[process.node_id] = order
         if self._store is not None:
             self._store.insert(process.node_id, pos, order, process,
@@ -578,9 +619,12 @@ class Network:
             # uniform_link_radius) and keep the brute-force scan.
             if (radius is not None and radius > 0
                     and self.radio.max_range() is not None):
+                # now_fn is a bound method, not a lambda, so a built network
+                # stays picklable (sharded snapshot-restore builds).
                 als = ArrayLinkState(radius, self._node_store(),
-                                     now_fn=lambda: self.sim.now,
-                                     obs=self._obs)
+                                     now_fn=self._sim_now,
+                                     obs=self._obs,
+                                     incremental=self._incremental_csr)
                 self._array_ls = als
                 return als
             self._array_ls = None
@@ -605,6 +649,10 @@ class Network:
                                    self._order, index, obs=self._obs)
             self._linkstate = cache
         return cache
+
+    def _sim_now(self) -> float:
+        """Sim-clock reader handed to lazily built caches (picklable)."""
+        return self.sim.now
 
     # ------------------------------------------------------------- messaging
 
@@ -660,7 +708,7 @@ class Network:
         return accepted
 
     def _receiver_batch(self, linkstate: Any, sender: Hashable):
-        """Cached ``(receivers, procs, procs_arr)`` triple for one sender.
+        """Cached ``(receivers, procs, procs_arr, rows)`` for one sender.
 
         Keyed on (generation, link-state instance): every position/membership/
         activation change bumps the generation, and any radio change —
@@ -668,19 +716,23 @@ class Network:
         replaces the link-state instance.  Caching the process objects (list
         + object ndarray) next to the ids lets delivery loops skip one dict
         lookup per receiver and gather accepted subsets with one masked
-        index.  Shared by the stock batched broadcast and the ownership-aware
-        sharded variant (:mod:`repro.shard`), which must consume receivers in
-        exactly this order to stay bit-identical.
+        index.  ``rows`` holds the receivers' store-row indices on the array
+        backend (``None`` on the dict cache); the sharded executor gathers
+        per-receiver ownership from it with one indexing operation.  Shared
+        by the stock batched broadcast and the ownership-aware sharded
+        variant (:mod:`repro.shard`), which must consume receivers in exactly
+        this order to stay bit-identical.
         """
         generation = self._generation
         cached = self._receiver_cache.get(sender)
         if cached is not None:
-            gen_c, ls_c, receivers, procs, procs_arr = cached
+            gen_c, ls_c, receivers, procs, procs_arr, rows = cached
             if gen_c == generation and ls_c is linkstate:
-                return receivers, procs, procs_arr
+                return receivers, procs, procs_arr, rows
         if type(linkstate) is ArrayLinkState:
             receivers, procs_arr = linkstate.active_receivers(sender, generation)
             procs = procs_arr.tolist()
+            rows = linkstate.active_receiver_rows(sender, generation)
         else:
             processes = self._processes
             receivers = [r for r in linkstate.out_neighbors_sorted(sender)
@@ -688,9 +740,10 @@ class Network:
             procs = [processes[r] for r in receivers]
             procs_arr = np.empty(len(procs), dtype=object)
             procs_arr[:] = procs
+            rows = None
         self._receiver_cache[sender] = (generation, linkstate, receivers,
-                                        procs, procs_arr)
-        return receivers, procs, procs_arr
+                                        procs, procs_arr, rows)
+        return receivers, procs, procs_arr, rows
 
     def _broadcast_batched(self, linkstate: Any, sender: Hashable,
                            payload: Any) -> int:
@@ -700,7 +753,7 @@ class Network:
         distance test disappears; active receivers keep insertion order, so
         the channel consumes its RNG exactly as the scalar loop would.
         """
-        receivers, procs, procs_arr = self._receiver_batch(linkstate, sender)
+        receivers, procs, procs_arr, _rows = self._receiver_batch(linkstate, sender)
         if not receivers:
             return 0
         now = self.sim.now

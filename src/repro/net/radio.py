@@ -135,6 +135,18 @@ class RadioModel:
         if stale:
             listeners[:] = [ref for ref in listeners if ref() is not None]
 
+    def __getstate__(self):
+        """Drop the listener list when pickled.
+
+        WeakMethods are not picklable and registrations are process-local
+        anyway: every restored :class:`~repro.net.network.Network`
+        re-registers itself on unpickle (the sharded snapshot-restore path
+        serializes built worlds wholesale).
+        """
+        state = self.__dict__.copy()
+        state.pop("_mutation_listeners", None)
+        return state
+
 
 class UnitDiskRadio(RadioModel):
     """Symmetric unit-disk radio: delivery iff distance <= ``radio_range``."""

@@ -25,6 +25,7 @@ from repro.mobility.manhattan import ManhattanGridMobility
 from repro.mobility.random_walk import RandomWalkMobility
 from repro.mobility.random_waypoint import RandomWaypointMobility
 from repro.mobility.rpgm import ReferencePointGroupMobility
+from repro.mobility.sparse_waypoint import SparseWaypointMobility
 from repro.net.channel import LossyChannel
 from repro.net.geometry import line_positions, random_positions
 from repro.sim.randomness import SeedSequenceFactory
@@ -387,7 +388,18 @@ def city_scale(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
         raise ValueError("hotspot_count must be positive")
     cfg = _config(config, dmax)
     seeds = SeedSequenceFactory(seed)
-    rng = seeds.stream("placement")
+    positions = _hotspot_field(seeds.stream("placement"), n, area, hotspot_count,
+                               hotspot_fraction, hotspot_sigma)
+    channel = LossyChannel(loss_probability=loss_probability, min_delay=min_delay,
+                           max_delay=max_delay)
+    return build_grp_network(positions, cfg, radio_range=radio_range, channel=channel,
+                             seed=seed, use_spatial_index=use_spatial_index)
+
+
+def _hotspot_field(rng, n: int, area: float, hotspot_count: int,
+                   hotspot_fraction: float,
+                   hotspot_sigma: float) -> Dict[Hashable, Tuple[float, float]]:
+    """Gaussian-hotspot urban placement shared by the ``city_scale`` family."""
     in_hotspots = int(round(hotspot_fraction * n))
     centres = rng.uniform(0.0, area, size=(hotspot_count, 2))
     # One vectorized pass per coordinate set; positions assemble in node-id
@@ -402,10 +414,59 @@ def city_scale(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
     for index in range(n - in_hotspots):
         positions[in_hotspots + index] = (float(background_xy[index, 0]),
                                           float(background_xy[index, 1]))
+    return positions
+
+
+@scenario(
+    "city_scale_mobile",
+    "Mega-city hotspot field where a sparse fraction of nodes circulate",
+    [_p("n", "int", 100_000, "number of nodes"),
+     _p("area", "float", 30_000.0, "side of the square city"),
+     _p("radio_range", "float", 100.0, "unit-disk radio range"),
+     _p("dmax", "int", 3, "group diameter bound"),
+     _p("hotspot_count", "int", 12, "number of dense urban hotspots"),
+     _p("hotspot_fraction", "float", 0.6, "fraction of nodes placed in hotspots"),
+     _p("hotspot_sigma", "float", 2_000.0, "gaussian spread of one hotspot"),
+     _p("mover_fraction", "float", 0.01, "fraction of nodes that move"),
+     _p("speed", "float", 15.0, "maximum mover speed (min is half)"),
+     _p("pause_time", "float", 5.0, "waypoint pause duration"),
+     _p("loss_probability", "float", 0.05, "per-receiver message loss probability"),
+     _p("min_delay", "float", 0.05, "minimum channel delivery delay"),
+     _p("max_delay", "float", 0.05, "maximum channel delivery delay"),
+     _p("use_spatial_index", "bool", True, "serve neighbour queries from the grid index")],
+    tags=("mobile", "large", "urban"))
+def city_scale_mobile(*, seed: int, config: Optional[GRPConfig], n: int, area: float,
+                      radio_range: float, dmax: int, hotspot_count: int,
+                      hotspot_fraction: float, hotspot_sigma: float,
+                      mover_fraction: float, speed: float, pause_time: float,
+                      loss_probability: float, min_delay: float, max_delay: float,
+                      use_spatial_index: bool) -> GRPDeployment:
+    """``city_scale`` with a circulating minority: the incremental-CSR workload.
+
+    The static hotspot field of :func:`city_scale` plus
+    :class:`~repro.mobility.sparse_waypoint.SparseWaypointMobility`: a
+    ``mover_fraction`` share of the nodes (1% by default) follow random
+    waypoints while everyone else stays parked.  Each mobility tick therefore
+    dirties only a small, roughly constant set of array-store rows — exactly
+    the regime where the array link-state's CSR patch beats a full rebuild.
+    """
+    if not 0.0 <= hotspot_fraction <= 1.0:
+        raise ValueError("hotspot_fraction must be in [0, 1]")
+    if hotspot_count <= 0:
+        raise ValueError("hotspot_count must be positive")
+    cfg = _config(config, dmax)
+    seeds = SeedSequenceFactory(seed)
+    positions = _hotspot_field(seeds.stream("placement"), n, area, hotspot_count,
+                               hotspot_fraction, hotspot_sigma)
+    mobility = SparseWaypointMobility((area, area), min_speed=speed * 0.5,
+                                      max_speed=speed, mover_fraction=mover_fraction,
+                                      pause_time=pause_time,
+                                      rng=seeds.stream("mobility"))
     channel = LossyChannel(loss_probability=loss_probability, min_delay=min_delay,
                            max_delay=max_delay)
     return build_grp_network(positions, cfg, radio_range=radio_range, channel=channel,
-                             seed=seed, use_spatial_index=use_spatial_index)
+                             mobility=mobility, seed=seed,
+                             use_spatial_index=use_spatial_index)
 
 
 @scenario(

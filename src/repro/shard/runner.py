@@ -35,6 +35,9 @@ shards, and traffic ledgers fold through
 from __future__ import annotations
 
 import multiprocessing
+import os
+import tempfile
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
@@ -65,8 +68,15 @@ class ShardRunResult:
 class _InprocHost:
     """A shard living in the coordinator's own process."""
 
-    def __init__(self, spec: ShardSpec, shard_id: int):
-        self.world = ShardWorld(spec, shard_id)
+    def __init__(self, spec: ShardSpec, shard_id: int,
+                 snapshot: Optional[bytes] = None):
+        t0 = time.perf_counter()
+        if snapshot is not None:
+            self.world = ShardWorld.from_snapshot(spec, shard_id, snapshot)
+        else:
+            self.world = ShardWorld(spec, shard_id)
+        self.build_s = time.perf_counter() - t0
+        self.base_phase_s = self.world.base_phase_s
         self.peek = self.world.peek()
         self.lookahead = self.world.lookahead
         self.owners = self.world.owners
@@ -95,11 +105,20 @@ class _InprocHost:
         pass
 
 
-def _shard_worker_main(conn, spec: ShardSpec, shard_id: int) -> None:
+def _shard_worker_main(conn, spec: ShardSpec, shard_id: int,
+                       snapshot_path: Optional[str] = None) -> None:
     """Serve one shard over a command pipe (runs in a spawned process)."""
     try:
-        world = ShardWorld(spec, shard_id)
-        conn.send(("ready", world.peek(), world.lookahead, world.owners))
+        t0 = time.perf_counter()
+        if snapshot_path is not None:
+            with open(snapshot_path, "rb") as fh:
+                blob = fh.read()
+            world = ShardWorld.from_snapshot(spec, shard_id, blob)
+        else:
+            world = ShardWorld(spec, shard_id)
+        build_s = time.perf_counter() - t0
+        conn.send(("ready", world.peek(), world.lookahead, world.owners,
+                   build_s, world.base_phase_s))
         while True:
             msg = conn.recv()
             cmd = msg[0]
@@ -129,18 +148,23 @@ def _shard_worker_main(conn, spec: ShardSpec, shard_id: int) -> None:
 class _MpHost:
     """A shard living in its own spawned OS process."""
 
-    def __init__(self, ctx, spec: ShardSpec, shard_id: int):
+    def __init__(self, ctx, spec: ShardSpec, shard_id: int,
+                 snapshot_path: Optional[str] = None):
         self.conn, child = ctx.Pipe()
         self.proc = ctx.Process(target=_shard_worker_main,
-                                args=(child, spec, shard_id), daemon=True)
+                                args=(child, spec, shard_id, snapshot_path),
+                                daemon=True)
         self.proc.start()
         child.close()
         self.peek: Optional[float] = None
         self.lookahead: float = 0.0
         self.owners: Dict[Hashable, int] = {}
+        self.build_s: float = 0.0
+        self.base_phase_s: float = 0.0
 
     def await_ready(self) -> None:
-        _, self.peek, self.lookahead, self.owners = self._recv()
+        (_, self.peek, self.lookahead, self.owners,
+         self.build_s, self.base_phase_s) = self._recv()
 
     def _recv(self):
         msg = self.conn.recv()
@@ -320,34 +344,79 @@ def _merge(spec: ShardSpec, parts: List[Dict[str, Any]],
 
 # ---------------------------------------------------------------- entrypoint
 
-def run_sharded(spec: ShardSpec, transport: str = "inproc") -> ShardRunResult:
+def run_sharded(spec: ShardSpec, transport: str = "inproc",
+                build: str = "replicate") -> ShardRunResult:
     """Execute ``spec`` across ``spec.shards`` workers and merge the result.
 
     ``transport='inproc'`` runs every shard in this process (deterministic
     reference, zero IPC); ``transport='mp'`` spawns one OS process per shard
-    and coordinates over pipes.  Both produce the same
-    :class:`ShardRunResult` bit for bit.
+    and coordinates over pipes.  ``build='replicate'`` has every worker run
+    the scenario builder itself; ``build='snapshot'`` builds once in the
+    coordinator, serializes the post-build state and has workers restore it
+    — O(build + k × restore) instead of O(k × build).  All four
+    combinations produce the same :class:`ShardRunResult` bit for bit.
+
+    ``stats`` carries the wall-clock split: ``build_s`` (host construction,
+    including the one-time base build in snapshot mode), ``run_s`` (window
+    loop + finish), ``base_build_s`` (snapshot mode's single build +
+    pickle), ``worker_build_s`` (per-worker total construction time) and
+    ``worker_base_phase_s`` (the shard-independent slice of each worker's
+    construction — scenario build when replicated, snapshot unpickle when
+    restored — i.e. the part the snapshot path amortizes).
     """
     if transport not in ("inproc", "mp"):
         raise ValueError(f"unknown transport {transport!r}; use 'inproc' or 'mp'")
+    if build not in ("replicate", "snapshot"):
+        raise ValueError(f"unknown build mode {build!r}; use 'replicate' or 'snapshot'")
     hosts: List[Any] = []
+    snapshot: Optional[bytes] = None
+    snapshot_path: Optional[str] = None
+    base_build_s = 0.0
+    t_start = time.perf_counter()
     try:
+        if build == "snapshot":
+            t0 = time.perf_counter()
+            snapshot = ShardWorld.snapshot_base(spec)
+            base_build_s = time.perf_counter() - t0
         if transport == "inproc":
-            hosts = [_InprocHost(spec, shard) for shard in range(spec.shards)]
+            hosts = [_InprocHost(spec, shard, snapshot)
+                     for shard in range(spec.shards)]
         else:
+            if snapshot is not None:
+                # Ship the blob through the filesystem, not the spawn args:
+                # pickling it into every Process start would serialize it
+                # k times through the spawn pipe.
+                fd, snapshot_path = tempfile.mkstemp(suffix=".shardworld")
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(snapshot)
             ctx = multiprocessing.get_context("spawn")
-            hosts = [_MpHost(ctx, spec, shard) for shard in range(spec.shards)]
+            hosts = [_MpHost(ctx, spec, shard, snapshot_path)
+                     for shard in range(spec.shards)]
             for host in hosts:
                 host.await_ready()
         lookahead = hosts[0].lookahead
         for host in hosts[1:]:
             if host.lookahead != lookahead:
                 raise RuntimeError("shards disagree on channel lookahead")
+        t_built = time.perf_counter()
         loop_stats = _coordinate(hosts, hosts[0].owners, lookahead, spec.duration)
         for host in hosts:
             host.submit_finish(spec.duration)
         parts = [host.collect_finish() for host in hosts]
-        return _merge(spec, parts, loop_stats, transport)
+        result = _merge(spec, parts, loop_stats, transport)
+        result.stats["build"] = build
+        result.stats["build_s"] = t_built - t_start
+        result.stats["run_s"] = time.perf_counter() - t_built
+        result.stats["base_build_s"] = base_build_s
+        result.stats["worker_build_s"] = [host.build_s for host in hosts]
+        result.stats["worker_base_phase_s"] = [host.base_phase_s
+                                               for host in hosts]
+        return result
     finally:
         for host in hosts:
             host.close()
+        if snapshot_path is not None:
+            try:
+                os.unlink(snapshot_path)
+            except OSError:  # pragma: no cover
+                pass

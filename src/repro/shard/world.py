@@ -62,8 +62,13 @@ delayed application channels would report slightly lower staleness.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import gc
+import pickle
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.messages import GRPMessage
 from repro.mobility.churn import ChurnEvent, ChurnSchedule
@@ -111,6 +116,7 @@ class ShardSpec:
     use_spatial_index: bool = True
     vectorized_delivery: bool = True
     array_state: bool = True
+    incremental_csr: bool = True
     churn: Tuple[Tuple[float, Hashable, bool], ...] = ()
     traffic: Optional[Tuple[str, Tuple[Tuple[str, object], ...]]] = None
     traffic_seed: Optional[int] = None
@@ -123,7 +129,7 @@ class ShardSpec:
     def create(cls, scenario: str, *, seed: int, duration: float, shards: int = 1,
                params: Optional[Dict[str, object]] = None,
                use_spatial_index: bool = True, vectorized_delivery: bool = True,
-               array_state: bool = True, churn=(),
+               array_state: bool = True, incremental_csr: bool = True, churn=(),
                traffic: Optional[str] = None,
                traffic_params: Optional[Dict[str, object]] = None,
                traffic_seed: Optional[int] = None,
@@ -144,7 +150,9 @@ class ShardSpec:
                    seed=int(seed), duration=float(duration), shards=int(shards),
                    use_spatial_index=bool(use_spatial_index),
                    vectorized_delivery=bool(vectorized_delivery),
-                   array_state=bool(array_state), churn=tuple(churn_rows),
+                   array_state=bool(array_state),
+                   incremental_csr=bool(incremental_csr),
+                   churn=tuple(churn_rows),
                    traffic=traffic_value, traffic_seed=traffic_seed,
                    fingerprint=bool(fingerprint))
 
@@ -185,6 +193,29 @@ class ShardNetwork(Network):
         #: only): their broadcasts take the untouched stock path, so the
         #: ownership dispatch taxes only the halo band.
         self._shard_interior = interior
+        #: int32 owner id per store row (lazy; nulled on membership changes) —
+        #: lets halo broadcasts partition receivers with one array gather
+        #: instead of a dict lookup per receiver.
+        self._shard_owner_rows: Optional[Any] = None
+
+    def add_node(self, process, position) -> None:
+        self._shard_owner_rows = None
+        super().add_node(process, position)
+
+    def remove_node(self, node_id: Hashable):
+        self._shard_owner_rows = None
+        return super().remove_node(node_id)
+
+    def _owner_rows_array(self):
+        """Owner ids aligned to the node store's rows (int32, cached)."""
+        store = self._store
+        arr = self._shard_owner_rows
+        if arr is None or arr.shape[0] != store.n:
+            owner, me = self._shard_owner, self._shard_id
+            arr = np.fromiter((owner.get(nid, me) for nid in store.ids[:store.n]),
+                              dtype=np.int32, count=store.n)
+            self._shard_owner_rows = arr
+        return arr
 
     # ------------------------------------------------------------------ churn
 
@@ -211,7 +242,8 @@ class ShardNetwork(Network):
             self.trace.record(now, "send", sender=sender)
         linkstate = self._link_state() if self._det_vicinity else None
         if linkstate is not None:
-            receivers = self._receiver_batch(linkstate, sender)[0]
+            receivers, _procs, _procs_arr, rows = self._receiver_batch(
+                linkstate, sender)
             if not receivers:
                 return 0
             # Always the boxed batch decision: its RNG consumption equals the
@@ -220,6 +252,9 @@ class ShardNetwork(Network):
             # dispatch needs.  (decide_batch_fast consumes the RNG
             # identically, so the shards=1 reference stays bit-compatible.)
             batch = self.channel.decide_batch(sender, receivers, now)
+            if rows is not None and self.trace is None:
+                return self._shard_dispatch_fast(sender, payload, receivers,
+                                                 rows, batch, now)
             return self._shard_dispatch(sender, payload, receivers,
                                         batch.delivered, batch.delays,
                                         batch.reasons, now)
@@ -294,25 +329,142 @@ class ShardNetwork(Network):
                 schedule(delay, self._deliver, sender, receiver, payload)
         return accepted
 
+    def _shard_dispatch_fast(self, sender: Hashable, payload: Any,
+                             receivers: List[Hashable], rows: Any,
+                             batch: Any, now: float) -> int:
+        """Mask-partitioned ownership dispatch for array-backed receiver sets.
+
+        Bit-identical to :meth:`_shard_dispatch` under the caller's
+        ``trace is None`` gate: drops consume no event seqs (bulk-counted),
+        outbox appends consume no seqs either (hoistable ahead of the local
+        interleave, and kept in receiver order so the coordinator's stable
+        sort sees the scalar sequence), and when every local delay is
+        positive the locals go through ``schedule_many`` — contiguous seqs
+        identical to the scalar loop's consecutive ``schedule`` calls.  Any
+        zero-delay local falls back to the per-index loop, which *is* the
+        scalar loop restricted to local receivers.
+        """
+        delivered, delays = batch.delivered, batch.delays
+        accepted = batch.n_accepted
+        if accepted is None:
+            accepted = batch.accepted()
+        n = len(receivers)
+        obs = self._obs
+        dropped = n - accepted
+        if dropped:
+            self.messages_dropped += dropped
+            if obs is not None:
+                self._obs_dropped.inc(dropped)
+        if accepted == 0:
+            return 0
+        if accepted == n:
+            didx = np.arange(n)
+        elif batch.delivered_array is not None:
+            didx = np.flatnonzero(batch.delivered_array)
+        else:
+            didx = np.flatnonzero(np.fromiter(delivered, dtype=bool, count=n))
+        owner_rows = self._owner_rows_array()
+        remote_mask = owner_rows[rows[didx]] != self._shard_id
+        if remote_mask.any():
+            outbox = self._shard_outbox
+            for i in didx[remote_mask].tolist():
+                outbox.append((now + delays[i], sender, receivers[i], payload))
+            local_idx = didx[~remote_mask]
+        else:
+            local_idx = didx
+        local_list = local_idx.tolist()
+        if not local_list:
+            return accepted
+        if not batch.zero_delay and min(delays[i] for i in local_list) > 0:
+            self.sim.schedule_many(
+                [delays[i] for i in local_list], self._deliver,
+                [(sender, receivers[i], payload) for i in local_list])
+            return accepted
+        processes = self._processes
+        schedule = self.sim.schedule
+        deliver = self._deliver
+        for i in local_list:
+            delay = delays[i]
+            receiver = receivers[i]
+            if delay <= 0:
+                proc = processes.get(receiver)
+                if proc is None or not proc._active:
+                    continue
+                self.messages_delivered += 1
+                if obs is not None:
+                    self._obs_delivered.inc()
+                proc.deliver(sender, payload)
+            else:
+                schedule(delay, deliver, sender, receiver, payload)
+        return accepted
+
 
 class ShardWorld:
-    """One shard's fully built slice of the run described by ``spec``."""
+    """One shard's fully built slice of the run described by ``spec``.
+
+    Construction has two halves.  :meth:`build_base` runs the scenario
+    builder and channel swap — the shard-independent part — and
+    :meth:`_finalize` does the shard-specific part: tiling, ownership, the
+    :class:`ShardNetwork` rebind, traffic/churn attachment, process start
+    and mirror quiescing.  ``__init__`` chains both (the replicated build).
+    :meth:`snapshot_base` pickles the post-build state once so every worker
+    can :meth:`from_snapshot` — O(build + shards × restore) instead of
+    O(shards × build), and bit-identical because *nothing* shard-specific
+    (and nothing random) happens between the snapshot point and
+    ``_finalize``: the sim queue is empty, the event-seq counter is 0 and
+    all RNG states are exactly post-build in both paths.
+
+    ``base_phase_s`` records how long the shard-independent half took on
+    this instance — the scenario build in ``__init__``, the unpickle in
+    ``from_snapshot`` — which is exactly the cost the snapshot path
+    amortizes (``_finalize`` runs identically either way).
+    """
 
     def __init__(self, spec: ShardSpec, shard_id: int):
-        if not 0 <= shard_id < spec.shards:
-            raise ValueError(f"shard_id {shard_id} out of range [0, {spec.shards})")
-        self.spec = spec
-        self.shard_id = shard_id
-        self.outbox: List[OutboxEntry] = []
-        self.shared_events = 0
-        self.remote_in = 0
+        t0 = time.perf_counter()
+        deployment, lookahead = self.build_base(spec)
+        self.base_phase_s = time.perf_counter() - t0
+        self._finalize(spec, shard_id, deployment, lookahead)
 
+    @classmethod
+    def from_snapshot(cls, spec: ShardSpec, shard_id: int,
+                      blob: bytes) -> "ShardWorld":
+        """Restore the shared post-build state, then finalize this shard."""
+        world = cls.__new__(cls)
+        t0 = time.perf_counter()
+        # Unpickling a 100k-node object graph triggers many full GC passes
+        # (every process/node allocation is a new container); pausing the
+        # collector for the restore is worth ~3x and is safe — the blob is a
+        # closed object graph with no cycles created mid-load that must be
+        # reclaimed before the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            deployment, lookahead = pickle.loads(blob)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise ShardUnsupportedError(
+                f"world snapshot failed to restore: {exc!r}") from exc
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        world.base_phase_s = time.perf_counter() - t0
+        world._finalize(spec, shard_id, deployment, lookahead)
+        return world
+
+    # ------------------------------------------------------------------ build
+
+    @staticmethod
+    def build_base(spec: ShardSpec):
+        """Scenario build + channel swap: everything shard-independent.
+
+        Returns ``(deployment, lookahead)`` — the exact state every shard
+        starts finalizing from, whether built locally or restored from a
+        snapshot.
+        """
         deployment = build_scenario(
             ScenarioSpec.create(spec.scenario, **dict(spec.params)), seed=spec.seed)
-        self.deployment = deployment
-        self.sim = deployment.sim
         network = deployment.network
-        self.network = network
         if type(network) is not Network:
             raise ShardUnsupportedError(
                 f"cannot shard a {type(network).__name__}; only the stock Network "
@@ -320,14 +472,53 @@ class ShardWorld:
         network.use_spatial_index = spec.use_spatial_index
         network.vectorized_delivery = spec.vectorized_delivery
         network.array_state = spec.array_state
+        network.incremental_csr = spec.incremental_csr
 
-        self.lookahead = self._swap_channel(network, spec.seed)
+        lookahead = ShardWorld._swap_channel(network, spec.seed)
 
         max_range = network.radio.max_range()
         if max_range is None or max_range <= 0:
             raise ShardUnsupportedError(
                 "sharding needs a bounded radio (max_range() > 0) to derive "
                 "spatial tiles and halo widths")
+        return deployment, lookahead
+
+    @staticmethod
+    def snapshot_base(spec: ShardSpec) -> bytes:
+        """Build once and pickle the shared post-build state.
+
+        The blob captures the deployment wholesale — NodeArrayStore arrays,
+        per-node protocol state, per-sender RNG states, the (empty) event
+        queue — so a worker's restore skips the scenario builder entirely.
+        Worlds holding unpicklable pieces (tracers, observability handles
+        with live clocks) raise :class:`ShardUnsupportedError`; callers fall
+        back to the replicated build.
+        """
+        deployment, lookahead = ShardWorld.build_base(spec)
+        try:
+            return pickle.dumps((deployment, lookahead),
+                                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ShardUnsupportedError(
+                f"world state is not snapshot-serializable: {exc!r}") from exc
+
+    def _finalize(self, spec: ShardSpec, shard_id: int, deployment,
+                  lookahead: float) -> None:
+        """Shard-specific construction tail, common to build and restore."""
+        if not 0 <= shard_id < spec.shards:
+            raise ValueError(f"shard_id {shard_id} out of range [0, {spec.shards})")
+        self.spec = spec
+        self.shard_id = shard_id
+        self.outbox = []
+        self.shared_events = 0
+        self.remote_in = 0
+        self.deployment = deployment
+        self.sim = deployment.sim
+        network = deployment.network
+        self.network = network
+        self.lookahead = lookahead
+
+        max_range = network.radio.max_range()
         positions = dict(network.positions)
         self.tiles = TileMap.from_positions(positions, max_range, spec.shards)
         self.owners: Dict[Hashable, int] = self.tiles.assign(positions)
@@ -344,13 +535,14 @@ class ShardWorld:
         self.churn = self._install_churn(spec.churn)
 
         deployment.start()
+        # One direct lookup per mirror: the ``processes`` property copies the
+        # whole mapping, which would make this loop quadratic in world size.
         for nid in self.owners:
             if nid not in owned_set:
-                _quiesce_timers(network.processes[nid])
+                _quiesce_timers(network.process(nid))
 
-    # ------------------------------------------------------------------ build
-
-    def _swap_channel(self, network: Network, seed: int) -> float:
+    @staticmethod
+    def _swap_channel(network: Network, seed: int) -> float:
         """Replace the built channel with a partition-invariant one.
 
         Returns the cross-shard lookahead: the minimum delay any channel

@@ -21,7 +21,6 @@ sub-streams, making every run fully reproducible from a single seed.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
@@ -95,7 +94,9 @@ class Simulator:
     def __init__(self, seed: Optional[int] = None, start_time: float = 0.0):
         self._now: float = float(start_time)
         self._queue: List[Event] = []
-        self._counter = itertools.count()
+        # A plain int, not itertools.count(): counts don't pickle, and the
+        # sharded snapshot-restore path serializes built simulators wholesale.
+        self._next_seq = 0
         self._rng = np.random.default_rng(seed)
         self._seed = seed
         self._processed = 0
@@ -159,7 +160,9 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} which is before current time {self._now}")
-        event = Event(time=float(time), seq=next(self._counter), callback=callback,
+        seq = self._next_seq
+        self._next_seq += 1
+        event = Event(time=float(time), seq=seq, callback=callback,
                       args=args, kwargs=kwargs)
         heapq.heappush(self._queue, event)
         self._pending += 1
@@ -189,9 +192,11 @@ class Simulator:
         for delay in delays:
             if delay < 0:
                 raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        events = [Event(time=float(now + delay), seq=next(self._counter),
+        seq0 = self._next_seq
+        events = [Event(time=float(now + delay), seq=seq0 + k,
                         callback=callback, args=tuple(args))
-                  for delay, args in zip(delays, args_seq)]
+                  for k, (delay, args) in enumerate(zip(delays, args_seq))]
+        self._next_seq = seq0 + len(events)
         if len(self._queue) < 4 * len(events):
             self._queue.extend(events)
             heapq.heapify(self._queue)

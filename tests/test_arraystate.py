@@ -197,6 +197,154 @@ class TestArrayLinkStateExactness:
         assert ids_again == [1, 3]
 
 
+# ------------------------------------------- incremental CSR patch exactness
+
+
+class TestIncrementalPatchEquivalence:
+    """The incremental CSR patch must be *byte*-identical to a full rebuild.
+
+    Mirrors ``tests/test_linkstate.py``'s randomized delta-sequence test for
+    the dict cache: after every batch of row moves, the patched ``_indptr``/
+    ``_indices`` arenas must equal those a fresh full rebuild produces —
+    same arcs, same receiver order, same dtypes — including coincident
+    points, nodes exactly at range and cell-edge placements, and moves that
+    leave the cached binning's occupied area entirely.
+    """
+
+    R = 60.0
+
+    def reference_csr(self, store, r=None):
+        ref = ArrayLinkState(self.R if r is None else r, store, incremental=False)
+        ref._ensure()
+        return (ref._indptr[: store.n + 1].copy(), ref._indices[: ref._m].copy())
+
+    def assert_csr_equals_rebuild(self, ls, store, r=None):
+        ls._ensure()
+        got_indptr = ls._indptr[: store.n + 1]
+        got_indices = ls._indices[: ls._m]
+        ref_indptr, ref_indices = self.reference_csr(store, r)
+        assert np.array_equal(got_indptr, ref_indptr)
+        assert np.array_equal(got_indices, ref_indices)
+
+    def test_randomized_delta_sequences_match_rebuild(self):
+        rng = np.random.default_rng(42)
+        patches = 0
+        for _trial in range(8):
+            n = int(rng.integers(30, 120))
+            pts = rng.uniform(0.0, 400.0, size=(n, 2))
+            store = make_store([tuple(map(float, p)) for p in pts])
+            ls = ArrayLinkState(self.R, store, incremental=True)
+            ls._ensure()  # initial full rebuild caches the cell binning
+            next_id = n
+            for _step in range(25):
+                op = rng.random()
+                if op < 0.08:
+                    # Membership change: forces (and must survive) a rebuild.
+                    store.insert(next_id, tuple(map(float, rng.uniform(0, 400, 2))),
+                                 order=next_id, proc=f"proc-{next_id}", active=True)
+                    next_id += 1
+                    ls.mark_dirty()
+                elif op < 0.14 and store.n > 10:
+                    victim = store.ids[int(rng.integers(0, store.n))]
+                    store.remove(victim)
+                    ls.mark_dirty()
+                else:
+                    k = int(rng.integers(1, 6))
+                    rows = rng.choice(store.n, size=k, replace=False)
+                    # Mix in-area moves with excursions outside the cached
+                    # binning's occupied cells (negative / far coordinates).
+                    xy = rng.uniform(-80.0, 480.0, size=(k, 2))
+                    store.write_rows(rows, xy)
+                    ls.mark_rows_dirty(rows)
+                self.assert_csr_equals_rebuild(ls, store)
+            patches += ls.patch_count
+        assert patches > 50  # the patch path, not the rebuild fallback, ran
+
+    def test_patch_onto_coincident_and_exactly_at_range(self):
+        # Far-away isolated padding keeps n large enough that two dirty rows
+        # stay under the patch thresholds (tiny fields rebuild — cheaper).
+        r = 5.0
+        pad = [(2000.0 + 40.0 * i, 2000.0) for i in range(36)]
+        store = make_store([(0.0, 0.0), (100.0, 100.0), (50.0, 50.0),
+                            (200.0, 0.0)] + pad)
+        ls = ArrayLinkState(r, store, incremental=True)
+        ls._ensure()
+        # Node 1 lands exactly on node 0 (coincident); node 3 lands at
+        # d == r exactly (3-4-5 triangle) — both links must appear, bit-equal
+        # to the rebuild's inclusive predicate.
+        store.update(1, (0.0, 0.0))
+        ls.mark_row_dirty(store.row_of[1])
+        store.update(3, (3.0, 4.0))
+        ls.mark_row_dirty(store.row_of[3])
+        self.assert_csr_equals_rebuild(ls, store, r)
+        arcs = set(ls.arcs())
+        assert (0, 1) in arcs and (1, 0) in arcs
+        assert (0, 3) in arcs and (1, 3) in arcs
+        assert ls.patch_count == 1 and ls.rebuild_count == 1
+
+    def test_patch_cell_edge_placements(self):
+        # Movers landing on exact multiples of the cell side (== r): the
+        # patched candidate harvest must keep axis pairs at exactly r and
+        # exclude corner pairs at sqrt(2)*r, like the full binning pass.
+        r = 10.0
+        pts = [(x * r, y * r) for x in range(4) for y in range(4)]
+        store = make_store(pts + [(1000.0, 1000.0), (1100.0, 1100.0)])
+        ls = ArrayLinkState(r, store, incremental=True)
+        ls._ensure()
+        store.update(16, (2 * r, 4 * r))
+        ls.mark_row_dirty(store.row_of[16])
+        store.update(17, (4 * r, 2 * r))
+        ls.mark_row_dirty(store.row_of[17])
+        self.assert_csr_equals_rebuild(ls, store, r)
+        arcs = set(ls.arcs())
+        assert (16, 11) in arcs      # (20,40)-(20,30): d == r exactly
+        assert (16, 7) not in arcs   # (20,40)-(10,30): d == sqrt(2)*r
+        assert (17, 14) in arcs      # (40,20)-(30,20): d == r exactly
+        assert ls.patch_count == 1
+
+    def test_patch_pairs_between_two_movers(self):
+        # Both endpoints dirty: the (moved, moved) mini-pass must find the
+        # pair even though neither node sits where the cached binning put it.
+        pad = [(5000.0 + 200.0 * i, 5000.0) for i in range(30)]
+        store = make_store([(0.0, 0.0), (500.0, 0.0), (0.0, 500.0)] + pad)
+        ls = ArrayLinkState(50.0, store, incremental=True)
+        ls._ensure()
+        assert set(ls.arcs()) == set()
+        store.update(1, (900.0, 900.0))
+        ls.mark_row_dirty(store.row_of[1])
+        store.update(2, (930.0, 940.0))
+        ls.mark_row_dirty(store.row_of[2])
+        self.assert_csr_equals_rebuild(ls, store, 50.0)
+        assert set(ls.arcs()) == {(1, 2), (2, 1)}
+        assert ls.patch_count == 1
+
+    def test_stale_accumulation_forces_rebuild(self):
+        # Repeated small batches leave ever more rows whose cached-binning
+        # cell is outdated; past STALE_MAX_FRACTION the refresh must fall
+        # back to a rebuild (and stay exact throughout).
+        rng = np.random.default_rng(9)
+        pts = rng.uniform(0.0, 300.0, size=(60, 2))
+        store = make_store([tuple(map(float, p)) for p in pts])
+        ls = ArrayLinkState(self.R, store, incremental=True)
+        ls._ensure()
+        for _step in range(20):
+            rows = rng.choice(store.n, size=3, replace=False)
+            store.write_rows(rows, rng.uniform(0.0, 300.0, size=(3, 2)))
+            ls.mark_rows_dirty(rows)
+            self.assert_csr_equals_rebuild(ls, store)
+        assert ls.rebuild_count > 1  # stale pressure triggered at least one
+        assert ls.patch_count > 0
+
+    def test_incremental_off_always_rebuilds(self):
+        store = make_store([(0.0, 0.0), (10.0, 0.0)])
+        ls = ArrayLinkState(15.0, store, incremental=False)
+        ls._ensure()
+        store.update(1, (5.0, 0.0))
+        ls.mark_row_dirty(store.row_of[1])
+        ls._ensure()
+        assert ls.patch_count == 0 and ls.rebuild_count == 2
+
+
 # ---------------------------------------------- network-level array semantics
 
 

@@ -30,21 +30,24 @@ N = 500
 DURATION = 3.0
 SEED = 2024
 
-#: (use_spatial_index, vectorized_delivery, array_state) backend combinations.
-#: The vectorized pipeline sits on top of the index, so (False, True, *)
-#: degrades to the scan path — included to prove the degradation is seamless.
-#: The array axis pins the SoA/CSR backend against the dict-based incremental
-#: cache (and against the scalar scan) on the same seeds: the reference
-#: combination serves receiver batches from :class:`ArrayLinkState`, the
-#: ``dictstate`` one from :class:`LinkStateCache`, and both must replay
-#: bit-identically.
+#: (use_spatial_index, vectorized_delivery, array_state, incremental_csr)
+#: backend combinations.  The vectorized pipeline sits on top of the index,
+#: so (False, True, *, *) degrades to the scan path — included to prove the
+#: degradation is seamless.  The array axis pins the SoA/CSR backend against
+#: the dict-based incremental cache (and against the scalar scan) on the
+#: same seeds: the reference combination serves receiver batches from
+#: :class:`ArrayLinkState`, the ``dictstate`` one from
+#: :class:`LinkStateCache`, and both must replay bit-identically.  The
+#: ``nopatch`` cell disables the incremental CSR patch so every topology
+#: refresh is a full rebuild — any divergence convicts the patch path.
 BACKENDS = {
-    "indexed+vectorized": (True, True, True),
-    "indexed+vectorized+dictstate": (True, True, False),
-    "indexed+scalar": (True, False, True),
-    "indexed+scalar+dictstate": (True, False, False),
-    "brute+scalar": (False, False, False),
-    "brute+vectorized-degraded": (False, True, True),
+    "indexed+vectorized": (True, True, True, True),
+    "indexed+vectorized+nopatch": (True, True, True, False),
+    "indexed+vectorized+dictstate": (True, True, False, True),
+    "indexed+scalar": (True, False, True, True),
+    "indexed+scalar+dictstate": (True, False, False, True),
+    "brute+scalar": (False, False, False, True),
+    "brute+vectorized-degraded": (False, True, True, True),
 }
 
 
@@ -59,12 +62,14 @@ def rng_fingerprint(deployment):
     return states
 
 
-def run_once(use_spatial_index, vectorized_delivery, array_state=True):
+def run_once(use_spatial_index, vectorized_delivery, array_state=True,
+             incremental_csr=True):
     deployment = manet_waypoint(n=N, area=1500.0, radio_range=100.0, dmax=3,
                                 speed=10.0, seed=SEED, loss_probability=0.05)
     deployment.network.use_spatial_index = use_spatial_index
     deployment.network.vectorized_delivery = vectorized_delivery
     deployment.network.array_state = array_state
+    deployment.network.incremental_csr = incremental_csr
     churn = ChurnSchedule([ChurnEvent(time=1.0, node_id=i, active=False) for i in range(25)]
                           + [ChurnEvent(time=2.0, node_id=i, active=True) for i in range(25)])
     churn.install(deployment.network)
@@ -96,7 +101,7 @@ def test_backends_replay_identically(runs, backend):
 
 
 def test_rerun_with_same_seed_is_identical(runs):
-    assert run_once(True, True, True) == runs["indexed+vectorized"]
+    assert run_once(True, True, True, True) == runs["indexed+vectorized"]
 
 
 def test_obs_enabled_replay_is_bit_identical(runs):
@@ -105,7 +110,7 @@ def test_obs_enabled_replay_is_bit_identical(runs):
     — deliveries, event counts, topology, and the post-run RNG states (the
     obs layer never consumes randomness)."""
     with observing(ObsContext()) as ctx:
-        observed = run_once(True, True, True)
+        observed = run_once(True, True, True, True)
     assert observed == runs["indexed+vectorized"]
     export = ctx.export()
     assert export["counters"]["sim.events"] == observed["processed_events"]
@@ -128,12 +133,14 @@ TRAFFIC_N = 200
 TRAFFIC_DURATION = 8.0
 
 
-def run_traffic_once(use_spatial_index, vectorized_delivery, array_state=True):
+def run_traffic_once(use_spatial_index, vectorized_delivery, array_state=True,
+                     incremental_csr=True):
     deployment = manet_waypoint(n=TRAFFIC_N, area=900.0, radio_range=100.0, dmax=3,
                                 speed=10.0, seed=SEED, loss_probability=0.05)
     deployment.network.use_spatial_index = use_spatial_index
     deployment.network.vectorized_delivery = vectorized_delivery
     deployment.network.array_state = array_state
+    deployment.network.incremental_csr = incremental_csr
     driver = attach_traffic(
         deployment, TrafficSpec.create("request_reply", interval=1.0), seed=SEED)
     churn = ChurnSchedule([ChurnEvent(time=1.0, node_id=i, active=False)
@@ -172,7 +179,8 @@ def test_traffic_backends_replay_identically(traffic_runs, backend):
 
 
 def test_traffic_rerun_with_same_seed_is_identical(traffic_runs):
-    assert run_traffic_once(True, True, True) == traffic_runs["indexed+vectorized"]
+    assert (run_traffic_once(True, True, True, True)
+            == traffic_runs["indexed+vectorized"])
 
 
 def test_traffic_actually_flowed(traffic_runs):
@@ -193,19 +201,20 @@ def test_traffic_actually_flowed(traffic_runs):
 #: streams, so its fingerprint family is its own, anchored at k=1 where the
 #: whole run takes the stock single-process pipeline.
 SHARD_CELLS = {
-    "2shards+arraystate+vectorized": (2, True, True),
-    "2shards+dictstate+vectorized": (2, False, True),
-    "2shards+arraystate+scalar": (2, True, False),
-    "2shards+dictstate+scalar": (2, False, False),
-    "4shards+arraystate+vectorized": (4, True, True),
-    "4shards+dictstate+scalar": (4, False, False),
+    "2shards+arraystate+vectorized": (2, True, True, True),
+    "2shards+arraystate+nopatch": (2, True, True, False),
+    "2shards+dictstate+vectorized": (2, False, True, True),
+    "2shards+arraystate+scalar": (2, True, False, True),
+    "2shards+dictstate+scalar": (2, False, False, True),
+    "4shards+arraystate+vectorized": (4, True, True, True),
+    "4shards+dictstate+scalar": (4, False, False, True),
 }
 
 SHARD_CHURN = (tuple((1.0, i, False) for i in range(25))
                + tuple((2.0, i, True) for i in range(25)))
 
 
-def shard_spec(shards, array_state=True, vectorized=True):
+def shard_spec(shards, array_state=True, vectorized=True, incremental=True):
     from repro.shard import ShardSpec
 
     return ShardSpec.create(
@@ -214,14 +223,15 @@ def shard_spec(shards, array_state=True, vectorized=True):
                 "speed": 10.0, "loss_probability": 0.05},
         seed=SEED, duration=DURATION, shards=shards,
         array_state=array_state, vectorized_delivery=vectorized,
-        churn=SHARD_CHURN)
+        incremental_csr=incremental, churn=SHARD_CHURN)
 
 
-def run_sharded_once(shards, array_state=True, vectorized=True, transport="inproc"):
+def run_sharded_once(shards, array_state=True, vectorized=True, incremental=True,
+                     transport="inproc", build="replicate"):
     from repro.shard import run_sharded
 
-    result = run_sharded(shard_spec(shards, array_state, vectorized),
-                         transport=transport)
+    result = run_sharded(shard_spec(shards, array_state, vectorized, incremental),
+                         transport=transport, build=build)
     return result.fingerprint, result.stats
 
 
@@ -233,8 +243,9 @@ def sharded_reference():
 
 @pytest.mark.parametrize("cell", list(SHARD_CELLS))
 def test_sharded_backends_replay_identically(sharded_reference, cell):
-    shards, array_state, vectorized = SHARD_CELLS[cell]
-    fingerprint, stats = run_sharded_once(shards, array_state, vectorized)
+    shards, array_state, vectorized, incremental = SHARD_CELLS[cell]
+    fingerprint, stats = run_sharded_once(shards, array_state, vectorized,
+                                          incremental)
     assert fingerprint == sharded_reference, (
         f"sharded 500-node run diverged between 1 shard and {cell}")
     # The split must be real: nodes crossing tile boundaries force actual
@@ -248,6 +259,29 @@ def test_sharded_mp_transport_matches(sharded_reference):
     fingerprint, stats = run_sharded_once(2, transport="mp")
     assert fingerprint == sharded_reference
     assert stats["transport"] == "mp"
+    assert stats["remote_deliveries"] > 0
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_snapshot_restore_matches(sharded_reference, shards):
+    """Snapshot-restore builds (one scenario build, pickled, restored per
+    worker) must reproduce the replicated-build fingerprint bit for bit at
+    every shard count — counters, views, merged ledger and post-run RNG
+    states all come through the pickle round trip unchanged."""
+    fingerprint, stats = run_sharded_once(shards, build="snapshot")
+    assert fingerprint == sharded_reference, (
+        f"snapshot-restore diverged from replicated build at {shards} shards")
+    assert stats["build"] == "snapshot"
+    assert stats["base_build_s"] > 0
+    assert len(stats["worker_build_s"]) == shards
+
+
+def test_sharded_snapshot_restore_mp_matches(sharded_reference):
+    """Snapshot-restore over the mp transport: the blob travels through the
+    filesystem to spawned workers and must still replay exactly."""
+    fingerprint, stats = run_sharded_once(2, transport="mp", build="snapshot")
+    assert fingerprint == sharded_reference
+    assert stats["transport"] == "mp" and stats["build"] == "snapshot"
     assert stats["remote_deliveries"] > 0
 
 
@@ -299,3 +333,46 @@ def test_sharded_traffic_actually_flowed(sharded_traffic_reference):
     assert traffic["app_sent"] > 0
     assert traffic["app_receptions"] > 0
     assert traffic["replies"] > 0
+
+
+# ------------------------------------- incremental CSR patch, engaged regime
+
+#: ``manet_waypoint`` moves every node every tick, so the matrix's
+#: ``nopatch`` cell above mostly proves the flag is harmless there (the
+#: dirty fraction exceeds the patch threshold and the refresh falls back to
+#: full rebuilds).  This section pins the patch path *while it is actually
+#: running*: a scaled-down ``city_scale_mobile`` field, where only a sparse
+#: mover subset dirties rows each tick, must replay bit-identically with
+#: patching on and off — and the on-run must prove patches happened.
+
+
+def run_sparse_mobile_once(incremental_csr):
+    from repro.scenarios.registry import build
+    from repro.scenarios.spec import ScenarioSpec
+
+    deployment = build(ScenarioSpec.create(
+        "city_scale_mobile", n=400, area=2000.0, hotspot_sigma=200.0,
+        mover_fraction=0.02), seed=SEED)
+    deployment.network.incremental_csr = incremental_csr
+    deployment.run(4.0)
+    network = deployment.network
+    linkstate = network._array_ls
+    fingerprint = {
+        "processed_events": deployment.sim.processed_events,
+        "sent": network.messages_sent,
+        "delivered": network.messages_delivered,
+        "dropped": network.messages_dropped,
+        "views": deployment.views(),
+        "edges": {frozenset(e) for e in deployment.topology().edges},
+        "rng_state": rng_fingerprint(deployment),
+    }
+    return fingerprint, (linkstate.patch_count if linkstate is not None else 0)
+
+
+def test_incremental_patch_replays_identically_when_engaged():
+    patched, patch_count = run_sparse_mobile_once(True)
+    rebuilt, rebuilt_patch_count = run_sparse_mobile_once(False)
+    assert patch_count > 0, "sparse-mover run never took the patch path"
+    assert rebuilt_patch_count == 0
+    assert patched == rebuilt, (
+        "sparse-mover run diverged between incremental CSR patch and full rebuild")

@@ -245,3 +245,92 @@ class TestUnsupportedWorlds:
         world = ShardWorld(spec, 0)
         assert world.lookahead == 0.0
         assert 0 < len(world.owned) < 10
+
+
+# ----------------------------------------------------- snapshot-restore build
+
+def _mirror_ids(world):
+    return [nid for nid, tile in world.owners.items() if tile != world.shard_id]
+
+
+def _timers_running(process):
+    timers = (process._tc_timer, process._ts_timer)
+    return any(t is not None and t.running for t in timers)
+
+
+class TestSnapshotRestore:
+    def spec(self, churn=()):
+        return ShardSpec.create(
+            "manet_waypoint", seed=7, duration=2.0, shards=2,
+            params={"n": 60, "area": 600.0, "radio_range": 120.0, "dmax": 3,
+                    "speed": 5.0, "loss_probability": 0.1},
+            churn=churn)
+
+    def test_restored_world_equals_built_world(self):
+        spec = self.spec()
+        blob = ShardWorld.snapshot_base(spec)
+        restored = ShardWorld.from_snapshot(spec, 0, blob)
+        built = ShardWorld(spec, 0)
+        assert restored.owned == built.owned
+        assert restored.owners == built.owners
+        assert restored.lookahead == built.lookahead
+        assert restored.peek() == built.peek()
+        assert (repr(restored.sim.rng.bit_generator.state)
+                == repr(built.sim.rng.bit_generator.state))
+
+    def test_one_blob_serves_every_shard(self):
+        spec = self.spec()
+        blob = ShardWorld.snapshot_base(spec)
+        worlds = [ShardWorld.from_snapshot(spec, shard, blob)
+                  for shard in range(spec.shards)]
+        owned = sorted(nid for world in worlds for nid in world.owned)
+        assert owned == sorted(worlds[0].owners)
+
+    def test_restored_mirror_timers_quiesced(self):
+        # The quiesce sweep runs in the shared finalize tail, so a restored
+        # world's mirrors must sleep exactly like a replicated build's.
+        spec = self.spec()
+        blob = ShardWorld.snapshot_base(spec)
+        world = ShardWorld.from_snapshot(spec, 0, blob)
+        owned = set(world.owned)
+        for nid in _mirror_ids(world):
+            assert not _timers_running(world.network.processes[nid]), (
+                f"mirror {nid} has running timers after restore")
+        assert any(_timers_running(world.network.processes[nid]) for nid in owned)
+
+    def test_restored_mirror_requiesced_after_churn_reactivation(self):
+        # Reactivation restarts timers through on_activate; the ShardNetwork
+        # override must put restored mirrors straight back to sleep, exactly
+        # as it does on the replicated-build path.
+        spec = self.spec()
+        blob = ShardWorld.snapshot_base(spec)
+        world = ShardWorld.from_snapshot(spec, 0, blob)
+        victim = _mirror_ids(world)[0]
+        network = world.network
+        network.deactivate_node(victim)
+        network.activate_node(victim)
+        assert not _timers_running(network.processes[victim])
+        # Same sequence on an owned node must leave its timers running.
+        keeper = world.owned[0]
+        network.deactivate_node(keeper)
+        network.activate_node(keeper)
+        assert _timers_running(network.processes[keeper])
+
+    def test_unpicklable_world_raises_unsupported(self):
+        spec = ShardSpec.create("shardtest_unpicklable", seed=1, duration=1.0,
+                                shards=2)
+        with pytest.raises(ShardUnsupportedError, match="snapshot"):
+            ShardWorld.snapshot_base(spec)
+
+
+@scenario("shardtest_unpicklable",
+          "world holding an unpicklable object (snapshot must refuse it)",
+          [ScenarioParameter("n", "int", 6, "nodes"),
+           ScenarioParameter("dmax", "int", 3, "diameter bound")],
+          tags=("test",))
+def _unpicklable_world(*, seed, config, n, dmax):
+    positions = {i: (float(i * 30), 0.0) for i in range(n)}
+    deployment = build_grp_network(positions, config or GRPConfig(dmax=dmax),
+                                   radio_range=50.0, seed=seed)
+    deployment.network._stowaway = lambda: None  # lambdas don't pickle
+    return deployment
