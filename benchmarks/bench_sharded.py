@@ -71,6 +71,12 @@ SNAPSHOT_SPEEDUP_BUDGET = 2.0
 #: short window to keep the (already measured) run phase cheap.
 AMORT_DURATION_FULL = 0.1
 
+#: Simulated seconds for the observability leg.  On the quick city the first
+#: multi-node groups form past t ~ 3 (tc = 1.0 plus the dmax = 3 quarantine),
+#: so the bench-grid duration of 2.0 would record zero lifecycle events;
+#: 4.0 s reliably produces group.formed events and convergence milestones.
+OBS_DURATION = 4.0
+
 
 def bench_spec(quick: bool, shards: int, duration: float = None) -> ShardSpec:
     """The benchmark workload at one shard count (same world throughout)."""
@@ -140,6 +146,63 @@ def refresh_bench(quick: bool, seed: int = 2024):
     }
 
 
+def obs_leg(out_path: str):
+    """Observed sharded run vs its unobserved twin (quick city, 2 shards, mp).
+
+    Runs the 2,000-node quick city for :data:`OBS_DURATION` simulated
+    seconds twice over the ``mp`` transport — once plain, once with every
+    worker under its own ObsContext — and checks the PR-7 contract end to
+    end: the fingerprints must be bit-identical, the merged export must
+    contain group-lifecycle events and a convergence milestone, and every
+    per-shard blob must carry the shard window/outbox instruments.  Writes
+    the merged export to ``out_path`` as repro-obs/v1 JSONL.
+    """
+    from repro.obs import write_blob_jsonl
+
+    spec = ShardSpec.create("city_scale", seed=2024, duration=OBS_DURATION,
+                            shards=2, fingerprint=True,
+                            params={"n": 2_000, "area": 4_000.0,
+                                    "hotspot_sigma": 300.0})
+    t0 = time.perf_counter()
+    plain = run_sharded(spec, transport="mp")
+    plain_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    observed = run_sharded(spec, transport="mp", obs=True)
+    observed_s = time.perf_counter() - t0
+    identical = observed.fingerprint == plain.fingerprint
+    merged = observed.obs["merged"]
+    per_shard = observed.obs["per_shard"]
+    kinds = merged["events"]["kinds"]
+    lifecycle = sum(v for k, v in kinds.items() if k.startswith("group."))
+    milestones = sum(v for k, v in kinds.items() if k.startswith("convergence."))
+    instruments_ok = all(
+        "shard.windows" in blob["counters"] and
+        "shard.outbox_entries" in blob["counters"] and
+        "shard.window" in blob.get("spans", {})
+        for blob in per_shard)
+    write_blob_jsonl(out_path, merged,
+                     meta={"bench": "sharded", "leg": "obs",
+                           "scenario": spec.scenario, "seed": spec.seed,
+                           "duration": spec.duration, "shards": spec.shards,
+                           "transport": "mp", "per_shard": len(per_shard)})
+    print(f"\nobs leg ({spec.shards} shards, mp, duration {spec.duration}): "
+          f"identical={identical}, {merged['events']['count']} events "
+          f"({lifecycle} lifecycle, {milestones} convergence), per-shard "
+          f"instruments={'ok' if instruments_ok else 'MISSING'}; "
+          f"plain {plain_s:.1f} s -> observed {observed_s:.1f} s; "
+          f"merged export -> {out_path}")
+    return {
+        "identical": identical,
+        "lifecycle_events": lifecycle,
+        "convergence_milestones": milestones,
+        "instruments_ok": instruments_ok,
+        "event_count": merged["events"]["count"],
+        "plain_wall_s": plain_s,
+        "observed_wall_s": observed_s,
+        "obs_overhead_x": observed_s / plain_s if plain_s > 0 else float("inf"),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -150,6 +213,10 @@ def main() -> int:
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
                         help="also write a bench-emit/v1 envelope "
                              "(see benchmarks/_emit.py)")
+    parser.add_argument("--obs-out", type=str, default=None, metavar="PATH",
+                        help="run the observability leg (quick city, 2 shards, "
+                             "mp, obs-on vs obs-off identity) and write the "
+                             "merged repro-obs/v1 export to PATH")
     args = parser.parse_args()
 
     shard_counts = args.shards or ([1, 2, 4] if args.quick else [1, 8])
@@ -249,6 +316,16 @@ def main() -> int:
           f"total {mean(replicated_total):.2f} s -> {mean(restore_total):.2f} s; "
           f"identical={snap_identical}")
 
+    # --- observability leg: obs-on vs obs-off identity plus event coverage.
+    obs = None
+    obs_ok = True
+    if args.obs_out:
+        obs = obs_leg(args.obs_out)
+        identical_all = identical_all and obs["identical"]
+        obs_ok = (obs["lifecycle_events"] > 0
+                  and obs["convergence_milestones"] > 0
+                  and obs["instruments_ok"])
+
     if args.json:
         emit_rows = [_emit.row("bit_identical", 1.0 if identical_all else 0.0,
                                "bool", budget=1.0)]
@@ -277,6 +354,14 @@ def main() -> int:
         emit_rows.append(_emit.row(
             "snapshot_restore_speedup", round(snap_speedup, 2), "x",
             budget=snapshot_budget))
+        if obs is not None:
+            emit_rows.append(_emit.row("obs_identical",
+                                       1.0 if obs["identical"] else 0.0,
+                                       "bool", budget=1.0))
+            emit_rows.append(_emit.row("obs_lifecycle_events",
+                                       obs["lifecycle_events"], "events"))
+            emit_rows.append(_emit.row("obs_overhead",
+                                       round(obs["obs_overhead_x"], 2), "x"))
         _emit.emit(args.json, bench="sharded", quick=args.quick,
                    rows=emit_rows,
                    meta={"cores": cores,
@@ -295,11 +380,16 @@ def main() -> int:
                              "snapshot_worker_build_s": restore_total,
                              "snapshot_worker_base_phase_s": restore_phase,
                              "identical": snap_identical,
-                         }})
+                         },
+                         "obs": obs})
 
     if not identical_all:
         print("ERROR: sharded run diverged from the 1-shard reference "
               "fingerprint — determinism bug, not noise")
+        return 1
+    if not obs_ok:
+        print("ERROR: obs leg missing lifecycle events, convergence "
+              "milestone or per-shard instruments — observability regression")
         return 1
     if top_count > 1:
         print(f"\nspeedup at {top_count} shards: {top['speedup']}x "

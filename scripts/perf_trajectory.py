@@ -9,14 +9,20 @@ Inputs (any mix, in any order):
 - Legacy ``BENCH_delivery.json`` / ``BENCH_traffic.json`` payloads from
   earlier runs (recognized by their headline keys); their headline metrics
   are lifted into the same row shape so old artifacts stay comparable.
-- ``repro-obs/v1`` JSONL exports (``--obs-out`` of the experiments CLI):
-  counters and span aggregates become informational rows (no budgets).
+- ``repro-obs/v1`` JSONL exports (``--obs-out`` of the experiments and shard
+  CLIs, merged sharded-bench exports, campaign files with their pre-folded
+  ``merged`` line): counters, span aggregates and protocol-event summaries
+  become informational rows, plus derived headlines — windows/s,
+  cross-shard delivery fraction, convergence-time p95.
 
 Output: ``PERF_TRAJECTORY.md`` (human) + ``PERF_TRAJECTORY.json`` (machine),
 both pure functions of the inputs — no timestamps, no environment probes —
 so the report is diffable across CI runs and PRs.  Exit status is non-zero
 when any benchmark row breaks its budget (CI uses this as the perf gate);
-``--no-fail`` downgrades regressions to warnings.
+``--no-fail`` downgrades regressions to warnings.  ``--history PATH``
+threads a run-indexed trend file through the gate: the previous entry feeds
+a ``Δ prev`` column and the current bench rows are appended (no
+timestamps, so the file stays deterministic per run sequence).
 
 Usage::
 
@@ -102,16 +108,55 @@ def _obs_rows_from_export(export: Dict[str, object]) -> List[Dict[str, object]]:
     return rows
 
 
+def _nearest_rank_p95(values: List[float]) -> Optional[float]:
+    """Nearest-rank 95th percentile, ``None`` on an empty sample."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * 95 // 100))  # ceil without math import
+    return ordered[rank - 1]
+
+
+def _derived_obs_rows(counters: Dict[str, float],
+                      spans: Dict[str, Dict[str, object]],
+                      event_times: Dict[str, List[float]],
+                      event_kinds: Dict[str, float]) -> List[Dict[str, object]]:
+    """Cross-instrument headline rows (sharded throughput, convergence)."""
+    rows: List[Dict[str, object]] = []
+    windows = counters.get("shard.windows")
+    window_span = spans.get("shard.window") or {}
+    window_wall_s = (window_span.get("wall_ns_total") or 0) / 1e9
+    if windows and window_wall_s > 0:
+        rows.append(_row("windows_per_s", round(windows / window_wall_s, 1),
+                         "windows/s"))
+    delivered = counters.get("net.delivered")
+    remote = counters.get("shard.remote_in")
+    if delivered and remote is not None:
+        rows.append(_row("cross_shard_delivery_fraction",
+                         round(remote / delivered, 4), "fraction"))
+    p95 = _nearest_rank_p95(event_times.get("convergence.first_legitimate", []))
+    if p95 is not None:
+        rows.append(_row("convergence_time_p95", round(p95, 3), "sim s"))
+    for kind in sorted(event_kinds):
+        rows.append(_row(f"events.{kind}", event_kinds[kind], "events"))
+    return rows
+
+
 def _load_obs_jsonl(path: str) -> Dict[str, object]:
     """One section from a ``repro-obs/v1`` JSONL export.
 
-    Handles both shapes the CLI writes: the single-run export (counter /
-    gauge / histogram / span lines) and the campaign export (``task`` lines
-    each carrying a full ``obs`` blob — summed counters, merged span counts).
+    Handles every shape the CLIs write: the single-run export (counter /
+    gauge / histogram / span / event lines), the campaign export (``task``
+    lines each carrying a full ``obs`` blob, plus one pre-folded ``merged``
+    line) and the sharded merged export (``write_blob_jsonl``).  When a
+    ``merged`` line is present it wins over re-summing the task lines.
     """
-    rows: List[Dict[str, object]] = []
     counters: Dict[str, float] = {}
     spans: Dict[str, Dict[str, object]] = {}
+    event_times: Dict[str, List[float]] = {}
+    line_kinds: Dict[str, float] = {}
+    summary_kinds: Dict[str, float] = {}
+    merged_blob: Optional[Dict[str, object]] = None
     tasks = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
@@ -124,6 +169,16 @@ def _load_obs_jsonl(path: str) -> Dict[str, object]:
                 counters[entry["name"]] = counters.get(entry["name"], 0) + entry["value"]
             elif kind == "span":
                 spans[entry["name"]] = entry
+            elif kind == "event":
+                line_kinds[entry["kind"]] = line_kinds.get(entry["kind"], 0) + 1
+                event_times.setdefault(entry["kind"], []).append(entry["sim_time"])
+            elif kind == "event_summary":
+                # Kind counts cover dropped records too; they win over
+                # counting the (bounded) event lines.
+                for name, count in (entry.get("kinds") or {}).items():
+                    summary_kinds[name] = summary_kinds.get(name, 0) + count
+            elif kind == "merged":
+                merged_blob = entry.get("obs") or {}
             elif kind == "task":
                 tasks += 1
                 blob = entry.get("obs") or {}
@@ -132,11 +187,29 @@ def _load_obs_jsonl(path: str) -> Dict[str, object]:
                 for name, stats in blob.get("spans", {}).items():
                     merged = spans.setdefault(name, {"count": 0})
                     merged["count"] = merged.get("count", 0) + stats.get("count", 0)
+                    merged["wall_ns_total"] = (merged.get("wall_ns_total", 0)
+                                               + stats.get("wall_ns_total", 0))
                     p95 = stats.get("wall_ns_p95")
                     if p95 is not None:
                         merged["wall_ns_p95"] = max(p95,
                                                     merged.get("wall_ns_p95", 0))
+                events = blob.get("events") or {}
+                for name, count in (events.get("kinds") or {}).items():
+                    line_kinds[name] = line_kinds.get(name, 0) + count
+                for record in events.get("records", ()):
+                    event_times.setdefault(record["kind"], []).append(
+                        record["sim_time"])
+    event_kinds = summary_kinds or line_kinds
+    if merged_blob is not None:
+        counters = dict(merged_blob.get("counters", {}))
+        spans = dict(merged_blob.get("spans", {}))
+        events = merged_blob.get("events") or {}
+        event_kinds = dict(events.get("kinds", {}))
+        event_times = {}
+        for record in events.get("records", ()):
+            event_times.setdefault(record["kind"], []).append(record["sim_time"])
     rows = _obs_rows_from_export({"counters": counters, "spans": spans})
+    rows.extend(_derived_obs_rows(counters, spans, event_times, event_kinds))
     label = os.path.basename(path)
     if tasks:
         label += f" ({tasks} tasks)"
@@ -183,22 +256,41 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
-def render_markdown(sections: List[Dict[str, object]]) -> str:
+def _trend_cell(section: Dict[str, object], row: Dict[str, object],
+                previous: Optional[Dict[str, float]]) -> str:
+    """Δ vs the previous gate run for one bench row (``—`` when unknown)."""
+    if previous is None:
+        return "—"
+    value = row.get("value")
+    prev = previous.get(f"{section['bench']}/{row['name']}")
+    if not isinstance(value, (int, float)) or not isinstance(prev, (int, float)):
+        return "—"
+    delta = value - prev
+    return f"{delta:+g}" if delta else "±0"
+
+
+def render_markdown(sections: List[Dict[str, object]],
+                    previous: Optional[Dict[str, float]] = None) -> str:
     lines = ["# Performance trajectory", "",
              "Folded benchmark artifacts and observability exports "
              "(`scripts/perf_trajectory.py`).  `status` is `ok` when the "
              "value meets its budget, `REGRESSION` when it does not, and "
-             "blank for untracked (informational) rows.", ""]
+             "blank for untracked (informational) rows."
+             + ("  `Δ prev` compares against the previous run recorded in "
+                "the trajectory history." if previous is not None else ""),
+             ""]
     bench_sections = [s for s in sections if s["kind"] == "bench"]
     obs_sections = [s for s in sections if s["kind"] == "obs"]
     regressions = []
+    trend = previous is not None
     for section in bench_sections:
         mode = "quick" if section["quick"] else "full"
         lines.append(f"## bench: {section['bench']} ({mode}) — "
                      f"`{section['source']}`")
         lines.append("")
-        lines.append("| metric | value | unit | budget | status |")
-        lines.append("|---|---:|---|---:|---|")
+        lines.append("| metric | value | unit | budget | status |"
+                     + (" Δ prev |" if trend else ""))
+        lines.append("|---|---:|---|---:|---|" + ("---:|" if trend else ""))
         for row in section["rows"]:
             budget = row.get("budget")
             if budget is None:
@@ -210,8 +302,11 @@ def render_markdown(sections: List[Dict[str, object]]) -> str:
                 status = "REGRESSION" if _violates(row) else "ok"
                 if status == "REGRESSION":
                     regressions.append((section, row))
-            lines.append(f"| {row['name']} | {_fmt(row['value'])} "
-                         f"| {row.get('unit', '')} | {budget_cell} | {status} |")
+            cells = (f"| {row['name']} | {_fmt(row['value'])} "
+                     f"| {row.get('unit', '')} | {budget_cell} | {status} |")
+            if trend:
+                cells += f" {_trend_cell(section, row, previous)} |"
+            lines.append(cells)
         lines.append("")
     for section in obs_sections:
         lines.append(f"## obs: {section['bench']}")
@@ -230,6 +325,42 @@ def render_markdown(sections: List[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+# ------------------------------------------------------------------- history
+
+def _bench_values(sections: List[Dict[str, object]]) -> Dict[str, float]:
+    """Numeric bench-row values keyed ``bench/metric`` for trend tracking."""
+    values: Dict[str, float] = {}
+    for section in sections:
+        if section["kind"] != "bench":
+            continue
+        for row in section["rows"]:
+            if isinstance(row.get("value"), (int, float)):
+                values[f"{section['bench']}/{row['name']}"] = row["value"]
+    return values
+
+
+def load_history(path: str) -> List[Dict[str, object]]:
+    """Read the run-indexed history file (missing file = empty history)."""
+    entries: List[Dict[str, object]] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def append_history(path: str, entries: List[Dict[str, object]],
+                   values: Dict[str, float]) -> Dict[str, object]:
+    """Append this gate run to the history (run-indexed, no timestamps)."""
+    entry = {"run": len(entries) + 1, "values": values}
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
 # ----------------------------------------------------------------------- main
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -245,6 +376,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-fail", action="store_true",
                         help="exit 0 even when a benchmark row breaks its "
                              "budget (regressions still reported)")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="run-indexed trend file (e.g. "
+                             "PERF_TRAJECTORY_HISTORY.jsonl): the previous "
+                             "entry feeds a 'Δ prev' column in the markdown "
+                             "report and this run's bench rows are appended")
     args = parser.parse_args(argv)
 
     paths = args.inputs or sorted(glob.glob("BENCH_*.json"))
@@ -269,7 +405,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("perf_trajectory: no parseable inputs", file=sys.stderr)
         return 2
 
-    markdown = render_markdown(sections)
+    previous: Optional[Dict[str, float]] = None
+    history_entries: List[Dict[str, object]] = []
+    if args.history:
+        history_entries = load_history(args.history)
+        previous = history_entries[-1].get("values", {}) if history_entries else {}
+
+    markdown = render_markdown(sections, previous=previous)
     with open(args.out, "w", encoding="utf-8") as handle:
         handle.write(markdown)
     regressions = [{"source": s["source"], "bench": s["bench"], **row}
@@ -279,6 +421,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump({"schema": "perf-trajectory/v1", "sections": sections,
                    "regressions": regressions}, handle, indent=2)
         handle.write("\n")
+    if args.history:
+        entry = append_history(args.history, history_entries,
+                               _bench_values(sections))
+        print(f"history: appended run {entry['run']} to {args.history}")
     print(f"wrote {args.out} and {args.json_out} "
           f"({len(sections)} section(s), {len(regressions)} regression(s))")
     for entry in regressions:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro.obs import current as _obs_current
 from repro.sim.process import Process
 from repro.sim.timers import PeriodicTimer
 
@@ -127,6 +128,10 @@ class GRPNode(Process):
         self._conflict_streaks: Dict[NodeId, int] = {}
         self._tc_timer: Optional[PeriodicTimer] = None
         self._ts_timer: Optional[PeriodicTimer] = None
+        # Protocol observatory hook, captured once (PR-7 contract: with obs
+        # off, compute() pays exactly one attribute check).
+        self._obs = _obs_current()
+        self._obs_head: Optional[str] = None
 
     # --------------------------------------------------------------- outputs
 
@@ -167,6 +172,12 @@ class GRPNode(Process):
     def on_activate(self) -> None:
         # A node coming back keeps no stale neighbourhood knowledge: it restarts
         # from its own identity (its memory may have been lost while powered off).
+        if self._obs is not None and len(self.view) > 1:
+            self._obs.record_event("group.dissolved", self.sim.now,
+                                   node=str(self.node_id),
+                                   prev_size=len(self.view),
+                                   reason="reactivated")
+        self._obs_head = None
         self.msg_set.clear()
         self._msg_age.clear()
         self.alist = AncestorList.singleton(self.node_id)
@@ -222,6 +233,8 @@ class GRPNode(Process):
     def compute(self) -> None:
         """One execution of the paper's ``compute()`` procedure."""
         dmax = self.config.dmax
+        obs = self._obs
+        old_view = self.view if obs is not None else None
 
         # Learn the priorities carried by the received messages.
         for message in self.msg_set.values():
@@ -311,6 +324,48 @@ class GRPNode(Process):
         self.priorities.tick(in_group=self.in_group())
         self.priorities.forget_except(self.alist.nodes() | self.view)
         self.computations += 1
+        if obs is not None and self.view != old_view:
+            self._emit_view_events(old_view)
+
+    def _emit_view_events(self, old_view: FrozenSet[NodeId]) -> None:
+        """Protocol hook: report this node's view transition to the observatory.
+
+        Node-scoped group-lifecycle events (payloads carry ``node``, unlike
+        the sampler's partition-level events), derived purely from the old
+        and new views — observation only, no protocol state is touched.
+        """
+        obs = self._obs
+        now = self.sim.now
+        new_view = self.view
+        node = str(self.node_id)
+        if len(old_view) == 1:
+            self._obs_head = head = self.group_priority()[1]
+            obs.record_event("group.formed", now, node=node,
+                             size=len(new_view), head=head)
+            return
+        if len(new_view) == 1:
+            obs.record_event("group.dissolved", now, node=node,
+                             prev_size=len(old_view))
+            self._obs_head = None
+            return
+        joined = len(new_view - old_view)
+        left = len(old_view - new_view)
+        if left == 0:
+            obs.record_event("group.merged", now, node=node,
+                             size=len(new_view), joined=joined)
+        elif joined == 0:
+            obs.record_event("group.split", now, node=node,
+                             prev_size=len(old_view), size=len(new_view),
+                             left=left)
+        else:
+            obs.record_event("group.changed", now, node=node,
+                             size=len(new_view), joined=joined, left=left)
+        head = self.group_priority()[1]
+        if head != self._obs_head:
+            obs.record_event("group.head_changed", now, node=node,
+                             head=head, previous=self._obs_head,
+                             size=len(new_view))
+            self._obs_head = head
 
     def _combine(self, accepted: Mapping[NodeId, AncestorList]) -> AncestorList:
         """Fold the accepted lists with ``ant`` starting from the local singleton."""

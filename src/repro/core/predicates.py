@@ -109,13 +109,35 @@ def safety(views: Views, graph: nx.Graph, dmax: int) -> bool:
 
 def maximality_violations(views: Views, graph: nx.Graph,
                           dmax: int) -> List[Tuple[FrozenSet, FrozenSet]]:
-    """Pairs of distinct groups that could merge without breaking ΠS."""
+    """Pairs of distinct groups that could merge without breaking ΠS.
+
+    A merged pair keeps ΠS only if the subgraph over the union is connected,
+    which requires the groups to share a node (possible while agreement is
+    broken) or to be joined by a direct edge.  Only those candidate pairs
+    get a diameter check — on a mostly-singleton configuration this reduces
+    the O(g^2) pair scan to roughly one check per topology edge.
+    """
     groups = sorted(set(omega(views).values()), key=lambda g: sorted(map(str, g)))
+    member_of: Dict[NodeId, List[int]] = {}
+    for index, group in enumerate(groups):
+        for node in group:
+            member_of.setdefault(node, []).append(index)
+    candidates: Set[Tuple[int, int]] = set()
+    for indices in member_of.values():
+        for i, index_a in enumerate(indices):
+            for index_b in indices[i + 1:]:
+                candidates.add((index_a, index_b) if index_a < index_b
+                               else (index_b, index_a))
+    for node_u, node_v in graph.edges():
+        for index_a in member_of.get(node_u, ()):
+            for index_b in member_of.get(node_v, ()):
+                if index_a != index_b:
+                    candidates.add((index_a, index_b) if index_a < index_b
+                                   else (index_b, index_a))
     violations: List[Tuple[FrozenSet, FrozenSet]] = []
-    for index, group_a in enumerate(groups):
-        for group_b in groups[index + 1:]:
-            if merged_diameter_ok(graph, group_a, group_b, dmax):
-                violations.append((group_a, group_b))
+    for index_a, index_b in sorted(candidates):
+        if merged_diameter_ok(graph, groups[index_a], groups[index_b], dmax):
+            violations.append((groups[index_a], groups[index_b]))
     return violations
 
 

@@ -305,19 +305,34 @@ def _campaign_spec(experiment_ids: List[str], args: argparse.Namespace, scenario
 
 
 def _write_campaign_obs(path: str, spec, result) -> None:
-    """Write per-task obs blobs as JSON lines (one meta line, one per task)."""
+    """Write per-task obs blobs as JSON lines (meta, one per task, merged).
+
+    The final ``{"type": "merged"}`` line folds every task blob through
+    :func:`repro.obs.merge_export_blobs` (counters add, histograms fold
+    element-wise, record windows interleave) so campaign-wide dashboards
+    need not re-implement the merge.
+    """
     import json
 
+    from repro.obs import merge_export_blobs
+
+    task_blobs = []
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps({"type": "meta", "schema": "repro-obs/v1",
                                  "campaign": spec.name,
                                  "spec_hash": spec.spec_hash()}) + "\n")
         for outcome in result.outcomes:
             if outcome.obs is not None:
+                task_blobs.append(outcome.obs)
                 handle.write(json.dumps({"type": "task",
                                          "task_id": outcome.task_id,
                                          "wall_time": outcome.wall_time,
                                          "obs": outcome.obs}) + "\n")
+        if task_blobs:
+            handle.write(json.dumps({"type": "merged",
+                                     "tasks": len(task_blobs),
+                                     "obs": merge_export_blobs(task_blobs)})
+                         + "\n")
 
 
 def _run_campaign(spec, args: argparse.Namespace) -> Tuple[str, int]:

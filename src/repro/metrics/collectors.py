@@ -19,9 +19,11 @@ from typing import Callable, Dict, FrozenSet, Hashable, List, Optional
 
 import networkx as nx
 
-from repro.core.predicates import (ConfigurationReport, Groups, continuity,
+from repro.core.predicates import (ConfigurationReport, Groups,
+                                   agreement_violations, continuity,
                                    continuity_violations, evaluate_configuration, omega,
-                                   topological)
+                                   safety_violations, topological)
+from repro.obs import current as _obs_current
 from repro.sim.engine import Simulator
 
 __all__ = ["ConfigurationSample", "TransitionRecord", "ConfigurationSampler"]
@@ -90,6 +92,11 @@ class ConfigurationSampler:
         self.transitions: List[TransitionRecord] = []
         self._handle = None
         self._previous: Optional[ConfigurationSample] = None
+        # Protocol observatory: captured once at construction (PR-7 contract —
+        # off costs exactly this attribute check per sample).
+        self._obs = _obs_current()
+        self._first_legitimate: Optional[float] = None
+        self._stable_since: Optional[float] = None
 
     # ------------------------------------------------------------------ wiring
 
@@ -99,10 +106,14 @@ class ConfigurationSampler:
         self._handle = self.sim.call_every(self.interval, self.sample_now)
 
     def stop(self) -> None:
-        """Stop the periodic sampling."""
+        """Stop the periodic sampling (emits the stabilization milestone)."""
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+        if self._obs is not None and self._stable_since is not None:
+            self._obs.record_event("convergence.stabilized", self.sim.now,
+                                   since=self._stable_since)
+            self._stable_since = None
 
     # ---------------------------------------------------------------- sampling
 
@@ -119,18 +130,123 @@ class ConfigurationSampler:
             graph=graph if self.keep_graphs else nx.Graph(),
             report=report,
         )
-        if self._previous is not None:
-            lost = continuity_violations(self._previous.groups, groups)
+        previous = self._previous
+        transition: Optional[TransitionRecord] = None
+        if previous is not None:
+            lost = continuity_violations(previous.groups, groups)
             lost_members = sum(len(prev - new) for _, prev, new in lost)
-            self.transitions.append(TransitionRecord(
+            transition = TransitionRecord(
                 time=self.sim.now,
-                topological_ok=topological(self._previous.groups, graph, self.dmax),
-                continuity_ok=continuity(self._previous.groups, groups),
+                topological_ok=topological(previous.groups, graph, self.dmax),
+                continuity_ok=continuity(previous.groups, groups),
                 lost_members=lost_members,
-            ))
+            )
+            self.transitions.append(transition)
         self._previous = sample
         self.samples.append(sample)
+        if self._obs is not None:
+            self._emit_events(previous, sample, transition, graph)
         return sample
+
+    # ---------------------------------------------------------- event feed
+
+    @staticmethod
+    def _group_key(group: FrozenSet[Hashable]) -> List[str]:
+        return sorted(map(str, group))
+
+    @staticmethod
+    def _group_payload(group: FrozenSet[Hashable]) -> Dict[str, object]:
+        payload: Dict[str, object] = {"size": len(group)}
+        if len(group) <= 8:
+            payload["members"] = sorted(map(str, group))
+        return payload
+
+    def _emit_events(self, previous: Optional[ConfigurationSample],
+                     sample: ConfigurationSample,
+                     transition: Optional[TransitionRecord],
+                     graph: nx.Graph) -> None:
+        """Feed the protocol observatory from one sample.
+
+        Observation only: every fact here is derived from the snapshot, and
+        the group-lifecycle classification walks the two partitions in sorted
+        order so the emitted stream is a pure function of the run.
+        """
+        obs = self._obs
+        now = sample.time
+        report = sample.report
+        if previous is not None:
+            prev_groups = set(previous.groups.values())
+            new_groups = set(sample.groups.values())
+            for group in sorted(new_groups - prev_groups, key=self._group_key):
+                if len(group) == 1:
+                    continue  # shrink/dissolution is reported from the old side
+                if any(parent >= group for parent in prev_groups):
+                    continue
+                parents = sorted((p for p in prev_groups if p & group and len(p) > 1),
+                                 key=self._group_key)
+                if len(parents) >= 2:
+                    obs.record_event("group.merged", now, parents=len(parents),
+                                     **self._group_payload(group))
+                elif not parents:
+                    obs.record_event("group.formed", now,
+                                     **self._group_payload(group))
+                else:
+                    obs.record_event("group.changed", now,
+                                     prev_size=len(parents[0]),
+                                     **self._group_payload(group))
+            for group in sorted(prev_groups - new_groups, key=self._group_key):
+                if len(group) == 1:
+                    continue
+                fragments = {sample.groups.get(member, frozenset({member}))
+                             for member in group}
+                if any(fragment >= group for fragment in fragments):
+                    continue  # absorbed — the new side reported merged/changed
+                if all(len(fragment) == 1 for fragment in fragments):
+                    obs.record_event("group.dissolved", now, size=len(group))
+                elif len(fragments) >= 2:
+                    obs.record_event("group.split", now, prev_size=len(group),
+                                     fragments=len(fragments))
+                else:
+                    remnant = next(iter(fragments))
+                    if remnant < group:
+                        obs.record_event("group.changed", now,
+                                         prev_size=len(group),
+                                         **self._group_payload(remnant))
+        if not report.agreement:
+            violations = agreement_violations(sample.views)
+            first = min(violations, key=lambda v: str(v[0]))
+            obs.record_event("predicate.agreement_violation", now,
+                             count=len(violations), node=str(first[0]),
+                             reason=first[1])
+        if not report.safety:
+            violations = safety_violations(sample.views, graph, self.dmax)
+            worst = max((d for _, d in violations if d != float("inf")),
+                        default=None)
+            obs.record_event("predicate.safety_violation", now,
+                             count=len(violations), worst_diameter=worst)
+        if not report.maximality:
+            obs.record_event("predicate.maximality_violation", now,
+                             group_count=report.group_count,
+                             largest_group=report.largest_group)
+        if transition is not None and not transition.continuity_ok:
+            obs.record_event("predicate.continuity_violation", now,
+                             lost_members=transition.lost_members,
+                             topological_ok=transition.topological_ok)
+            if transition.best_effort_violation:
+                obs.record_event("predicate.best_effort_violation", now,
+                                 lost_members=transition.lost_members)
+        if report.legitimate:
+            if self._first_legitimate is None:
+                self._first_legitimate = now
+                obs.record_event("convergence.first_legitimate", now,
+                                 group_count=report.group_count,
+                                 largest_group=report.largest_group)
+            if self._stable_since is None:
+                self._stable_since = now
+        elif self._stable_since is not None:
+            obs.record_event("convergence.legitimacy_lost", now,
+                             since=self._stable_since)
+            self._stable_since = None
 
     # ----------------------------------------------------------------- queries
 

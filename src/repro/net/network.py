@@ -183,6 +183,25 @@ class Network:
         self._obs_delivered = obs.registry.counter("net.delivered") if obs else None
         self._obs_dropped = obs.registry.counter("net.dropped") if obs else None
 
+    def recapture_obs(self) -> None:
+        """Re-point the cached obs handles (and the lazily built link-state
+        caches') at the process-local context — see
+        :meth:`repro.sim.engine.Simulator.recapture_obs`."""
+        obs = _obs_current()
+        self._obs = obs
+        self._obs_broadcasts = obs.registry.counter("net.broadcasts") if obs else None
+        self._obs_delivered = obs.registry.counter("net.delivered") if obs else None
+        self._obs_dropped = obs.registry.counter("net.dropped") if obs else None
+        als = self._array_ls
+        if als is not None:
+            als._obs = obs
+        cache = self._linkstate
+        if cache is not None:
+            cache._obs_moves = (obs.registry.counter("topology.patch_moves")
+                                if obs else None)
+            cache._obs_rebuilds = (obs.registry.counter("topology.dict_rebuilds")
+                                   if obs else None)
+
     def __setstate__(self, state):
         """Re-register the radio mutation listener after unpickling.
 

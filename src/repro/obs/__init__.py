@@ -7,8 +7,13 @@ Public surface:
   ``current()`` once at construction and guard hot paths with a single
   attribute check, so a disabled run performs no observation work at all.
 * :class:`ObsContext` — one observed run: a :class:`MetricsRegistry` of
-  counters / gauges / fixed-bucket histograms plus sim-time-correlated span
-  statistics, exportable as a JSON blob or a ``metrics.jsonl`` file.
+  counters / gauges / fixed-bucket histograms, sim-time-correlated span
+  statistics and a protocol :class:`EventStream` (group lifecycle, predicate
+  violations, convergence milestones), exportable as a JSON blob or a
+  ``metrics.jsonl`` file.
+* :meth:`ObsContext.merge` / :func:`merge_export_blobs` — fold per-shard or
+  per-task observations into one aggregate (counters add, histograms fold
+  element-wise, record windows interleave in ``(sim_time, seq)`` order).
 * :func:`profiling` — opt-in cProfile wrapper for ``--profile``.
 
 Invariants (pinned by ``tests/test_obs.py`` and the replay-determinism
@@ -17,7 +22,9 @@ events, and keeps wall-clock readings out of sim-visible state — enabling it
 leaves a seeded run bit-identical.
 """
 
-from .context import (ObsContext, Span, current, disable, enable, observing)
+from .context import (ObsContext, Span, current, disable, enable,
+                      merge_export_blobs, observing, write_blob_jsonl)
+from .events import EventStream, ObsEvent
 from .metrics import (Counter, DEFAULT_WALL_NS_BUCKETS, Gauge, Histogram,
                       MetricsRegistry)
 from .profile import profile_summary, profiling
@@ -30,11 +37,15 @@ __all__ = [
     "enable",
     "disable",
     "observing",
+    "merge_export_blobs",
+    "write_blob_jsonl",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_WALL_NS_BUCKETS",
+    "EventStream",
+    "ObsEvent",
     "SpanRecord",
     "SpanStats",
     "profiling",

@@ -34,10 +34,12 @@ import time
 import tracemalloc
 from typing import Any, Dict, Iterator, Optional
 
+from .events import DEFAULT_MAX_EVENT_RECORDS, EventStream, iter_event_lines
 from .metrics import MetricsRegistry
-from .spans import SpanStats
+from .spans import SpanStats, _nearest_rank
 
-__all__ = ["ObsContext", "Span", "current", "enable", "disable", "observing"]
+__all__ = ["ObsContext", "Span", "current", "enable", "disable", "observing",
+           "merge_export_blobs", "write_blob_jsonl"]
 
 #: Default bound on stored raw records per span name (aggregates stay exact).
 DEFAULT_MAX_SPAN_RECORDS = 1024
@@ -88,14 +90,16 @@ class ObsContext:
         noticeably, which is why it is not part of plain ``--obs``.
     """
 
-    __slots__ = ("registry", "max_span_records", "spans", "_seq", "_track_heap",
-                 "_heap_peak", "_started_tracemalloc")
+    __slots__ = ("registry", "max_span_records", "spans", "events", "_seq",
+                 "_track_heap", "_heap_peak", "_started_tracemalloc")
 
     def __init__(self, max_span_records: int = DEFAULT_MAX_SPAN_RECORDS,
-                 track_heap: bool = False):
+                 track_heap: bool = False,
+                 max_event_records: int = DEFAULT_MAX_EVENT_RECORDS):
         self.registry = MetricsRegistry()
         self.max_span_records = int(max_span_records)
         self.spans: Dict[str, SpanStats] = {}
+        self.events = EventStream(max_event_records)
         self._seq = 0
         self._track_heap = bool(track_heap)
         self._heap_peak: Optional[int] = None
@@ -127,6 +131,40 @@ class ObsContext:
 
     def span_stats(self, name: str) -> Optional[SpanStats]:
         return self.spans.get(name)
+
+    # --------------------------------------------------------------- events
+
+    def record_event(self, kind: str, sim_time: float,
+                     **payload: Any) -> None:
+        """Record one protocol event (group lifecycle, predicate violation,
+        convergence milestone).  Deterministic content is
+        ``(kind, sim_time, seq, payload)``; the wall-clock reading is an
+        annotation stripped from deterministic exports."""
+        seq = self._seq
+        self._seq = seq + 1
+        self.events.record(kind, sim_time, seq, time.perf_counter_ns(),
+                           payload or None)
+
+    # ----------------------------------------------------------------- merge
+
+    def merge(self, other: "ObsContext") -> None:
+        """Fold another context into this one (per-shard contexts -> one run).
+
+        Counters and histograms add, span aggregates and event counts
+        combine exactly, record windows interleave in ``(sim_time, seq)``
+        order, and the heap peak takes the max.  Kind-pinned instrument
+        conflicts raise, same as live registration.
+        """
+        self.registry.merge(other.registry)
+        for name in sorted(other.spans):
+            stats = self.spans.get(name)
+            if stats is None:
+                stats = self.spans[name] = SpanStats(name, self.max_span_records)
+            stats.merge(other.spans[name])
+        self.events.merge(other.events)
+        if other._heap_peak is not None and (
+                self._heap_peak is None or other._heap_peak > self._heap_peak):
+            self._heap_peak = other._heap_peak
 
     # ----------------------------------------------------------- heap (opt-in)
 
@@ -160,6 +198,11 @@ class ObsContext:
         blob = self.registry.as_dict()
         blob["spans"] = {name: self.spans[name].as_dict(include_records)
                          for name in sorted(self.spans)}
+        # Event content is deterministic by construction (wall time is kept
+        # out), so records can always ship: the blob of an observed run is a
+        # pure function of the seed.
+        blob["events"] = self.events.as_dict(include_records=True,
+                                             include_wall=False)
         if self._heap_peak is not None:
             blob["heap_peak_bytes"] = self._heap_peak
         return blob
@@ -184,10 +227,138 @@ class ObsContext:
             for name, data in blob["spans"].items():
                 handle.write(json.dumps(
                     {"type": "span", "name": name, **data}) + "\n")
+            summary = dict(blob["events"])
+            summary.pop("records", None)
+            handle.write(json.dumps(
+                {"type": "event_summary", **summary}) + "\n")
+            for line in iter_event_lines(self.events, include_wall=True):
+                handle.write(json.dumps(line) + "\n")
             if self._heap_peak is not None:
                 handle.write(json.dumps(
                     {"type": "gauge", "name": "heap.peak_bytes",
                      "value": self._heap_peak}) + "\n")
+
+
+# ---------------------------------------------------------------- blob merge
+
+
+def merge_export_blobs(blobs) -> Dict[str, Any]:
+    """Fold already-exported blobs (dicts from :meth:`ObsContext.export`)
+    into one aggregate blob — for persisted exports whose live contexts are
+    gone (campaign task records, per-shard breakdowns read back from disk).
+
+    Counters add; gauges last-write-wins; histograms fold element-wise
+    (same-bounds required); span aggregates combine with percentiles
+    recomputed only when record windows are present; event kind counts add
+    and record lists interleave in ``(sim_time, seq)`` order.
+    """
+    merged: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {},
+                              "spans": {}, "events": {"count": 0, "kinds": {},
+                                                      "dropped_records": 0,
+                                                      "records": []}}
+    heap_peak: Optional[int] = None
+
+    def _merge_hist(into: Dict[str, Any], data: Dict[str, Any]) -> None:
+        if into.get("bounds") != data.get("bounds"):
+            raise ValueError("cannot merge histograms with different bounds")
+        into["counts"] = [a + b for a, b in zip(into["counts"], data["counts"])]
+        into["sum"] += data["sum"]
+        into["count"] += data["count"]
+
+    for blob in blobs:
+        for name, value in blob.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        for name, value in blob.get("gauges", {}).items():
+            merged["gauges"][name] = value
+        for name, data in blob.get("histograms", {}).items():
+            if name not in merged["histograms"]:
+                merged["histograms"][name] = json.loads(json.dumps(data))
+            else:
+                _merge_hist(merged["histograms"][name], data)
+        for name, data in blob.get("spans", {}).items():
+            into = merged["spans"].get(name)
+            if into is None:
+                merged["spans"][name] = json.loads(json.dumps(data))
+                continue
+            into["count"] += data["count"]
+            into["wall_ns_total"] += data["wall_ns_total"]
+            for key, pick in (("wall_ns_min", min), ("wall_ns_max", max)):
+                if data.get(key) is not None:
+                    into[key] = (data[key] if into.get(key) is None
+                                 else pick(into[key], data[key]))
+            _merge_hist(into["histogram"], data["histogram"])
+            into["dropped_records"] += data["dropped_records"]
+            if data.get("payload_totals"):
+                totals = into.setdefault("payload_totals", {})
+                for key, value in data["payload_totals"].items():
+                    totals[key] = totals.get(key, 0) + value
+            if "records" in into or "records" in data:
+                records = sorted(into.get("records", []) + data.get("records", []),
+                                 key=lambda r: (r["sim_time"], r["seq"]))
+                into["records"] = records
+                walls = sorted(r["wall_ns"] for r in records)
+                if walls:
+                    into["wall_ns_p50"] = _nearest_rank(walls, 0.50)
+                    into["wall_ns_p95"] = _nearest_rank(walls, 0.95)
+            else:
+                into["wall_ns_p50"] = None
+                into["wall_ns_p95"] = None
+        events = blob.get("events")
+        if events:
+            target = merged["events"]
+            target["count"] += events.get("count", 0)
+            for kind, n in events.get("kinds", {}).items():
+                target["kinds"][kind] = target["kinds"].get(kind, 0) + n
+            target["dropped_records"] += events.get("dropped_records", 0)
+            target["records"].extend(events.get("records", []))
+        if blob.get("heap_peak_bytes") is not None:
+            peak = blob["heap_peak_bytes"]
+            heap_peak = peak if heap_peak is None else max(heap_peak, peak)
+
+    merged["events"]["records"].sort(key=lambda r: (r["sim_time"], r["seq"]))
+    merged["events"]["kinds"] = {k: merged["events"]["kinds"][k]
+                                 for k in sorted(merged["events"]["kinds"])}
+    for kind in ("counters", "gauges", "histograms", "spans"):
+        merged[kind] = {name: merged[kind][name] for name in sorted(merged[kind])}
+    if heap_peak is not None:
+        merged["heap_peak_bytes"] = heap_peak
+    return merged
+
+
+def write_blob_jsonl(path: str, blob: Dict[str, Any],
+                     meta: Optional[Dict[str, Any]] = None) -> None:
+    """Write an already-exported blob as ``repro-obs/v1`` JSON lines.
+
+    The file-shaped twin of :meth:`ObsContext.to_jsonl` for blobs whose live
+    context is gone — merged sharded exports, campaign aggregates.  Event
+    records in a blob are already wall-stripped, so the output is fully
+    deterministic.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {"type": "meta", "schema": "repro-obs/v1"}
+        if meta:
+            header.update(meta)
+        handle.write(json.dumps(header) + "\n")
+        for kind in ("counters", "gauges"):
+            for name, value in blob.get(kind, {}).items():
+                handle.write(json.dumps(
+                    {"type": kind[:-1], "name": name, "value": value}) + "\n")
+        for name, data in blob.get("histograms", {}).items():
+            handle.write(json.dumps(
+                {"type": "histogram", "name": name, **data}) + "\n")
+        for name, data in blob.get("spans", {}).items():
+            handle.write(json.dumps(
+                {"type": "span", "name": name, **data}) + "\n")
+        events = blob.get("events")
+        if events:
+            summary = {k: v for k, v in events.items() if k != "records"}
+            handle.write(json.dumps({"type": "event_summary", **summary}) + "\n")
+            for record in events.get("records", ()):
+                handle.write(json.dumps({"type": "event", **record}) + "\n")
+        if blob.get("heap_peak_bytes") is not None:
+            handle.write(json.dumps(
+                {"type": "gauge", "name": "heap.peak_bytes",
+                 "value": blob["heap_peak_bytes"]}) + "\n")
 
 
 # ------------------------------------------------------------------- runtime

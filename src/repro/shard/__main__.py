@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.shard`` runs the sharded-run CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -38,8 +38,10 @@ import multiprocessing
 import os
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.obs import ObsContext, enable as _obs_enable, observing
 
 from .world import OutboxEntry, ShardSpec, ShardWorld
 
@@ -55,32 +57,54 @@ class ShardRunResult:
     shape the replay-determinism suite compares.  ``traffic`` holds the
     merged application-ledger facts when a workload was attached.  ``stats``
     is diagnostic only (per-shard breakdowns, round counts, remote delivery
-    counts) and intentionally k-dependent.
+    counts) and intentionally k-dependent.  ``obs`` (observed runs only)
+    carries ``{"merged": blob, "per_shard": [blob, ...]}`` — every worker's
+    :class:`~repro.obs.ObsContext` export plus their
+    :meth:`~repro.obs.ObsContext.merge` fold, with the coordinator's final
+    convergence milestone appended to the merged stream.
     """
 
     fingerprint: Dict[str, Any]
     traffic: Optional[Dict[str, Any]]
     stats: Dict[str, Any]
+    obs: Optional[Dict[str, Any]] = field(default=None)
 
 
 # ------------------------------------------------------------------- hosts
 
 class _InprocHost:
-    """A shard living in the coordinator's own process."""
+    """A shard living in the coordinator's own process.
+
+    With ``obs`` on, the world is built under its own :class:`ObsContext`;
+    the capture-once contract means everything the world does afterwards
+    (windows, deliveries, protocol events) keeps landing in that context
+    even though it is deinstalled once construction returns — so several
+    in-process shards observe into disjoint contexts, exactly like the mp
+    transport's per-process ones.
+    """
 
     def __init__(self, spec: ShardSpec, shard_id: int,
-                 snapshot: Optional[bytes] = None):
+                 snapshot: Optional[bytes] = None, obs: bool = False):
+        self.obs_ctx: Optional[ObsContext] = ObsContext() if obs else None
         t0 = time.perf_counter()
-        if snapshot is not None:
-            self.world = ShardWorld.from_snapshot(spec, shard_id, snapshot)
+        if self.obs_ctx is not None:
+            with observing(self.obs_ctx):
+                self.world = self._build(spec, shard_id, snapshot)
         else:
-            self.world = ShardWorld(spec, shard_id)
+            self.world = self._build(spec, shard_id, snapshot)
         self.build_s = time.perf_counter() - t0
         self.base_phase_s = self.world.base_phase_s
         self.peek = self.world.peek()
         self.lookahead = self.world.lookahead
         self.owners = self.world.owners
         self._out: List[OutboxEntry] = []
+
+    @staticmethod
+    def _build(spec: ShardSpec, shard_id: int,
+               snapshot: Optional[bytes]) -> ShardWorld:
+        if snapshot is not None:
+            return ShardWorld.from_snapshot(spec, shard_id, snapshot)
+        return ShardWorld(spec, shard_id)
 
     def submit_round(self, end: float, inclusive: bool) -> None:
         self._out = self.world.run_round(end, inclusive)
@@ -106,9 +130,17 @@ class _InprocHost:
 
 
 def _shard_worker_main(conn, spec: ShardSpec, shard_id: int,
-                       snapshot_path: Optional[str] = None) -> None:
-    """Serve one shard over a command pipe (runs in a spawned process)."""
+                       snapshot_path: Optional[str] = None,
+                       obs: bool = False) -> None:
+    """Serve one shard over a command pipe (runs in a spawned process).
+
+    With ``obs`` on, the worker installs a fresh :class:`ObsContext` before
+    building its world (so every component captures it), times its pipe
+    waits as ``shard.barrier_wait`` spans, and ships the whole context back
+    with the finish parts — contexts are plain picklable observation state.
+    """
     try:
+        ctx = _obs_enable(ObsContext()) if obs else None
         t0 = time.perf_counter()
         if snapshot_path is not None:
             with open(snapshot_path, "rb") as fh:
@@ -120,7 +152,12 @@ def _shard_worker_main(conn, spec: ShardSpec, shard_id: int,
         conn.send(("ready", world.peek(), world.lookahead, world.owners,
                    build_s, world.base_phase_s))
         while True:
-            msg = conn.recv()
+            if ctx is not None:
+                wait_t0 = ctx.clock()
+                msg = conn.recv()
+                ctx.record_span("shard.barrier_wait", world.sim.now, wait_t0)
+            else:
+                msg = conn.recv()
             cmd = msg[0]
             if cmd == "round":
                 out = world.run_round(msg[1], msg[2])
@@ -129,7 +166,7 @@ def _shard_worker_main(conn, spec: ShardSpec, shard_id: int,
                 world.apply(msg[1], msg[2])
                 conn.send(("ok", world.peek()))
             elif cmd == "finish":
-                conn.send(("ok", world.finish(msg[1])))
+                conn.send(("ok", world.finish(msg[1]), ctx))
                 conn.close()
                 return
             elif cmd == "stop":
@@ -149,10 +186,10 @@ class _MpHost:
     """A shard living in its own spawned OS process."""
 
     def __init__(self, ctx, spec: ShardSpec, shard_id: int,
-                 snapshot_path: Optional[str] = None):
+                 snapshot_path: Optional[str] = None, obs: bool = False):
         self.conn, child = ctx.Pipe()
         self.proc = ctx.Process(target=_shard_worker_main,
-                                args=(child, spec, shard_id, snapshot_path),
+                                args=(child, spec, shard_id, snapshot_path, obs),
                                 daemon=True)
         self.proc.start()
         child.close()
@@ -161,6 +198,7 @@ class _MpHost:
         self.owners: Dict[Hashable, int] = {}
         self.build_s: float = 0.0
         self.base_phase_s: float = 0.0
+        self.obs_ctx: Optional[ObsContext] = None
 
     def await_ready(self) -> None:
         (_, self.peek, self.lookahead, self.owners,
@@ -189,7 +227,9 @@ class _MpHost:
         self.conn.send(("finish", duration))
 
     def collect_finish(self) -> Dict[str, Any]:
-        parts = self._recv()[1]
+        msg = self._recv()
+        parts = msg[1]
+        self.obs_ctx = msg[2]
         self.proc.join(timeout=60)
         return parts
 
@@ -342,10 +382,53 @@ def _merge(spec: ShardSpec, parts: List[Dict[str, Any]],
     return ShardRunResult(fingerprint=fingerprint, traffic=traffic, stats=stats)
 
 
+def _merge_obs(spec: ShardSpec, parts: List[Dict[str, Any]],
+               contexts: List[Optional[ObsContext]]) -> Dict[str, Any]:
+    """Fold the per-shard contexts into one export blob.
+
+    The merged stream additionally gets the coordinator's convergence
+    milestone: with the fingerprint enabled, the final merged configuration
+    (views + topology edges) is evaluated against the protocol predicates —
+    the one protocol fact only the coordinator can see whole.
+    """
+    per_shard = []
+    merged = ObsContext()
+    for shard_id, ctx in enumerate(contexts):
+        if ctx is None:  # pragma: no cover - transport bug guard
+            raise RuntimeError(f"shard {shard_id} returned no obs context")
+        per_shard.append(ctx.export())
+        merged.merge(ctx)
+    if spec.fingerprint and parts and "dmax" in parts[0]:
+        import networkx as nx
+
+        from repro.core.predicates import evaluate_configuration
+
+        views: Dict[Hashable, Any] = {}
+        for part in parts:
+            views.update(part["views"])
+        graph = nx.Graph()
+        graph.add_nodes_from(views)
+        for edge in sorted(parts[0]["edges"],
+                           key=lambda e: sorted(map(str, e))):
+            pair = tuple(edge)
+            if len(pair) == 2:
+                graph.add_edge(*pair)
+        report = evaluate_configuration(spec.duration, views, graph,
+                                        parts[0]["dmax"])
+        merged.record_event("convergence.final", spec.duration,
+                            legitimate=report.legitimate,
+                            agreement=report.agreement,
+                            safety=report.safety,
+                            maximality=report.maximality,
+                            group_count=report.group_count,
+                            largest_group=report.largest_group)
+    return {"merged": merged.export(), "per_shard": per_shard}
+
+
 # ---------------------------------------------------------------- entrypoint
 
 def run_sharded(spec: ShardSpec, transport: str = "inproc",
-                build: str = "replicate") -> ShardRunResult:
+                build: str = "replicate", obs: bool = False) -> ShardRunResult:
     """Execute ``spec`` across ``spec.shards`` workers and merge the result.
 
     ``transport='inproc'`` runs every shard in this process (deterministic
@@ -363,6 +446,12 @@ def run_sharded(spec: ShardSpec, transport: str = "inproc",
     ``worker_base_phase_s`` (the shard-independent slice of each worker's
     construction — scenario build when replicated, snapshot unpickle when
     restored — i.e. the part the snapshot path amortizes).
+
+    ``obs=True`` runs every worker under its own :class:`~repro.obs.ObsContext`
+    (both transports, both build modes) and fills ``result.obs`` with the
+    per-shard exports plus their merged fold.  Observation never feeds back
+    into the simulation: an observed sharded run is bit-identical to the
+    unobserved one, post-run RNG states included.
     """
     if transport not in ("inproc", "mp"):
         raise ValueError(f"unknown transport {transport!r}; use 'inproc' or 'mp'")
@@ -379,7 +468,7 @@ def run_sharded(spec: ShardSpec, transport: str = "inproc",
             snapshot = ShardWorld.snapshot_base(spec)
             base_build_s = time.perf_counter() - t0
         if transport == "inproc":
-            hosts = [_InprocHost(spec, shard, snapshot)
+            hosts = [_InprocHost(spec, shard, snapshot, obs)
                      for shard in range(spec.shards)]
         else:
             if snapshot is not None:
@@ -390,7 +479,7 @@ def run_sharded(spec: ShardSpec, transport: str = "inproc",
                 with os.fdopen(fd, "wb") as fh:
                     fh.write(snapshot)
             ctx = multiprocessing.get_context("spawn")
-            hosts = [_MpHost(ctx, spec, shard, snapshot_path)
+            hosts = [_MpHost(ctx, spec, shard, snapshot_path, obs)
                      for shard in range(spec.shards)]
             for host in hosts:
                 host.await_ready()
@@ -404,6 +493,9 @@ def run_sharded(spec: ShardSpec, transport: str = "inproc",
             host.submit_finish(spec.duration)
         parts = [host.collect_finish() for host in hosts]
         result = _merge(spec, parts, loop_stats, transport)
+        if obs:
+            result.obs = _merge_obs(spec, parts,
+                                    [host.obs_ctx for host in hosts])
         result.stats["build"] = build
         result.stats["build_s"] = t_built - t_start
         result.stats["run_s"] = time.perf_counter() - t_built

@@ -74,6 +74,7 @@ from repro.core.messages import GRPMessage
 from repro.mobility.churn import ChurnEvent, ChurnSchedule
 from repro.net.channel import CollisionChannel, LossyChannel, PerfectChannel
 from repro.net.network import Network
+from repro.obs import current as _obs_current
 from repro.scenarios.registry import build as build_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.randomness import derive_seed
@@ -197,6 +198,14 @@ class ShardNetwork(Network):
         #: lets halo broadcasts partition receivers with one array gather
         #: instead of a dict lookup per receiver.
         self._shard_owner_rows: Optional[Any] = None
+        # Halo-vs-interior send split for the observatory.  ``_obs`` was
+        # re-captured by the finalizer just before this call, so the handles
+        # land in the worker's own context.
+        obs = self._obs
+        self._obs_halo_sends = (obs.registry.counter("shard.halo_sends")
+                                if obs else None)
+        self._obs_interior_sends = (obs.registry.counter("shard.interior_sends")
+                                    if obs else None)
 
     def add_node(self, process, position) -> None:
         self._shard_owner_rows = None
@@ -230,6 +239,9 @@ class ShardNetwork(Network):
 
     def broadcast(self, sender: Hashable, payload: Any) -> int:
         if sender in self._shard_interior:
+            if (self._obs_interior_sends is not None
+                    and self._processes[sender]._active):
+                self._obs_interior_sends.inc()
             return Network.broadcast(self, sender, payload)
         sender_proc = self._processes[sender]
         if not sender_proc._active:
@@ -237,6 +249,7 @@ class ShardNetwork(Network):
         self.messages_sent += 1
         if self._obs_broadcasts is not None:
             self._obs_broadcasts.inc()
+            self._obs_halo_sends.inc()
         now = self.sim.now
         if self.trace is not None:
             self.trace.record(now, "send", sender=sender)
@@ -431,6 +444,8 @@ class ShardWorld:
                       blob: bytes) -> "ShardWorld":
         """Restore the shared post-build state, then finalize this shard."""
         world = cls.__new__(cls)
+        obs = _obs_current()
+        obs_t0 = obs.clock() if obs is not None else 0
         t0 = time.perf_counter()
         # Unpickling a 100k-node object graph triggers many full GC passes
         # (every process/node allocation is a new container); pausing the
@@ -449,6 +464,9 @@ class ShardWorld:
             if gc_was_enabled:
                 gc.enable()
         world.base_phase_s = time.perf_counter() - t0
+        if obs is not None:
+            obs.record_span("shard.snapshot_restore", 0.0, obs_t0,
+                            {"bytes": len(blob)})
         world._finalize(spec, shard_id, deployment, lookahead)
         return world
 
@@ -517,6 +535,24 @@ class ShardWorld:
         network = deployment.network
         self.network = network
         self.lookahead = lookahead
+
+        # Re-capture the process-local obs context before anything
+        # shard-specific runs: a snapshot-restored deployment carries the
+        # builder process's (usually absent) handles, so without this a
+        # ``build="snapshot"`` worker would be observationally blind while a
+        # ``build="replicate"`` one is not.  Idempotent for replicated builds
+        # (the worker's context was already current at construction time).
+        obs = _obs_current()
+        self._obs = obs
+        self._obs_windows = obs.registry.counter("shard.windows") if obs else None
+        self._obs_outbox = (obs.registry.counter("shard.outbox_entries")
+                            if obs else None)
+        self._obs_remote = obs.registry.counter("shard.remote_in") if obs else None
+        deployment.sim.recapture_obs()
+        network.recapture_obs()
+        for node in deployment.nodes.values():
+            if hasattr(node, "_obs"):
+                node._obs = obs
 
         max_range = network.radio.max_range()
         positions = dict(network.positions)
@@ -641,10 +677,18 @@ class ShardWorld:
 
     def run_round(self, end: float, inclusive: bool) -> List[OutboxEntry]:
         """Run one synchronized window and return the captured outbox."""
+        obs = self._obs
+        t0 = obs.clock() if obs is not None else 0
         self.sim.run_window(end, inclusive=inclusive)
         # Drain in place: the network holds a reference to this exact list.
         out = self.outbox[:]
         self.outbox.clear()
+        if obs is not None:
+            self._obs_windows.inc()
+            if out:
+                self._obs_outbox.inc(len(out))
+            obs.record_span("shard.window", end, t0,
+                            {"outbox": len(out)} if out else None)
         return out
 
     def apply(self, round_time: float, entries: List[OutboxEntry]) -> None:
@@ -659,6 +703,8 @@ class ShardWorld:
         sim = self.sim
         deliver = self.network._deliver
         self.remote_in += len(entries)
+        if self._obs_remote is not None:
+            self._obs_remote.inc(len(entries))
         for recv_time, sender, receiver, payload in entries:
             if recv_time <= round_time:
                 sim.advance_clock(recv_time)
@@ -694,6 +740,9 @@ class ShardWorld:
             parts["views"] = {nid: view for nid, view in deployment.views().items()
                               if nid in owned_set}
             parts["edges"] = {frozenset(e) for e in deployment.topology().edges}
+            # Replicated protocol constant, shipped so an observed coordinator
+            # can evaluate the final configuration's predicates.
+            parts["dmax"] = deployment.config.dmax
             payload_sizes = []
             computations = 0
             for nid, node in nodes.items():

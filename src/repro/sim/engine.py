@@ -109,6 +109,19 @@ class Simulator:
         self._obs_events = obs.registry.counter("sim.events") if obs else None
         self._obs_scheduled = obs.registry.counter("sim.scheduled") if obs else None
 
+    def recapture_obs(self) -> None:
+        """Re-point the cached obs handles at the process-local context.
+
+        The capture-once contract pins observation scope at construction;
+        worlds that cross a process boundary after construction (sharded
+        snapshot restore) carry the builder's handles and call this so the
+        restoring worker's own context observes the run.
+        """
+        obs = _obs_current()
+        self._obs = obs
+        self._obs_events = obs.registry.counter("sim.events") if obs else None
+        self._obs_scheduled = obs.registry.counter("sim.scheduled") if obs else None
+
     # ------------------------------------------------------------------ clock
 
     @property

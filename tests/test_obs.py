@@ -416,3 +416,103 @@ class TestTraceRecorderBounds:
         lines = [json.loads(line) for line in path.read_text().splitlines()]
         assert lines[0] == {"time": 1.0, "category": "send", "payload": "a"}
         assert lines[1]["category"] == "recv"
+
+
+# ------------------------------------------------------------------ merging
+
+
+class TestMerge:
+    """Context / registry / span / event merging for per-shard fold-in."""
+
+    def test_registry_merge_disjoint_names(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("left").inc(3)
+        b.counter("right").inc(4)
+        b.gauge("depth").set(7)
+        a.merge(b)
+        exported = a.as_dict()
+        assert exported["counters"] == {"left": 3, "right": 4}
+        assert exported["gauges"] == {"depth": 7}
+
+    def test_registry_merge_overlapping_names(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(3)
+        b.counter("hits").inc(4)
+        a.gauge("depth").set(1)
+        b.gauge("depth").set(9)
+        a.histogram("lat", (10, 100)).observe(5)
+        b.histogram("lat", (10, 100)).observe(50)
+        a.merge(b)
+        exported = a.as_dict()
+        assert exported["counters"] == {"hits": 7}
+        assert exported["gauges"] == {"depth": 9}  # last write wins
+        assert exported["histograms"]["lat"]["counts"] == [1, 1, 0]
+
+    def test_registry_merge_kind_conflict_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        b.gauge("x").set(1)
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_histogram_merge_bounds_mismatch_raises(self):
+        a = Histogram((10, 100))
+        b = Histogram((10, 1000))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_span_stats_merge_interleaves_by_sim_time(self):
+        a, b = SpanStats("window", 16), SpanStats("window", 16)
+        a.observe(sim_time=1.0, seq=0, wall_ns=100, counts=None)
+        a.observe(sim_time=3.0, seq=2, wall_ns=300, counts=None)
+        b.observe(sim_time=2.0, seq=1, wall_ns=200, counts=None)
+        a.merge(b)
+        assert a.count == 3
+        assert a.wall_ns_total == 600
+        assert [record.sim_time for record in a.records] == [1.0, 2.0, 3.0]
+
+    def test_context_merge_combines_events(self):
+        left, right = ObsContext(), ObsContext()
+        left.record_event("group.formed", sim_time=1.0, size=3)
+        right.record_event("group.formed", sim_time=0.5, size=2)
+        right.record_event("group.split", sim_time=2.0, prev_size=4)
+        left.merge(right)
+        exported = left.export()["events"]
+        assert exported["count"] == 3
+        assert exported["kinds"] == {"group.formed": 2, "group.split": 1}
+        times = [record["sim_time"] for record in exported["records"]]
+        assert times == sorted(times)
+        assert all("wall_ns" not in record for record in exported["records"])
+
+    def test_merge_export_blobs_matches_context_merge(self):
+        ctxs = []
+        for base in (1, 10):
+            ctx = ObsContext()
+            ctx.registry.counter("sim.events").inc(base)
+            ctx.record_span("shard.window", float(base), ctx.clock())
+            ctx.record_event("group.formed", sim_time=float(base), size=base)
+            ctxs.append(ctx)
+        from repro.obs import merge_export_blobs
+
+        folded = merge_export_blobs([ctx.export() for ctx in ctxs])
+        live = ObsContext()
+        for ctx in ctxs:
+            live.merge(ctx)
+        live_blob = live.export()
+        assert folded["counters"] == live_blob["counters"]
+        assert folded["events"]["kinds"] == live_blob["events"]["kinds"]
+        assert folded["spans"]["shard.window"]["count"] == 2
+
+    def test_event_stream_bounded_with_exact_kind_counts(self):
+        from repro.obs import EventStream
+
+        stream = EventStream(max_records=4)
+        for i in range(10):
+            stream.record("group.formed", sim_time=float(i), seq=i,
+                          wall_ns=0, payload=None)
+        assert stream.count == 10
+        assert stream.kind_counts == {"group.formed": 10}
+        assert len(stream.records) == 4
+        assert stream.dropped == 6
+        assert [event.sim_time for event in stream.ordered_records()] == \
+            [6.0, 7.0, 8.0, 9.0]

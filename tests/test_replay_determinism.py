@@ -376,3 +376,81 @@ def test_incremental_patch_replays_identically_when_engaged():
     assert rebuilt_patch_count == 0
     assert patched == rebuilt, (
         "sparse-mover run diverged between incremental CSR patch and full rebuild")
+
+
+# ------------------------------------ observed sharded runs, bit-identical
+
+#: Observability on the sharded executor crosses every seam at once: each
+#: worker observes into its own ObsContext (captured at build time), the mp
+#: transport ships contexts back over the pipe, and the coordinator merges
+#: them and appends its convergence milestone.  None of that may perturb
+#: the simulation: every cell must reproduce the unobserved 1-shard
+#: fingerprint bit for bit — counters, views, edges and post-run RNG states.
+
+OBS_SHARD_CELLS = [(1, "inproc"), (2, "inproc"), (4, "inproc"),
+                   (1, "mp"), (2, "mp"), (4, "mp")]
+
+
+@pytest.mark.parametrize("shards,transport", OBS_SHARD_CELLS,
+                         ids=[f"{k}shards-{t}" for k, t in OBS_SHARD_CELLS])
+def test_sharded_obs_replay_is_bit_identical(sharded_reference, shards,
+                                             transport):
+    from repro.shard import run_sharded
+
+    result = run_sharded(shard_spec(shards), transport=transport, obs=True)
+    assert result.fingerprint == sharded_reference, (
+        f"observed sharded run diverged at {shards} shards over {transport}")
+    assert "rng_state" in result.fingerprint
+    merged = result.obs["merged"]
+    assert len(result.obs["per_shard"]) == shards
+    assert merged["counters"]["sim.events"] > 0
+    assert merged["counters"]["shard.windows"] > 0
+    assert "shard.outbox_entries" in merged["counters"]
+    kinds = merged["events"]["kinds"]
+    assert kinds.get("convergence.final") == 1
+
+
+def test_sharded_obs_snapshot_restore_workers_observe(sharded_reference):
+    """The satellite bugfix: snapshot-restored workers must re-capture the
+    process-local context in ``_finalize`` — without it every restored
+    component keeps the nulled handles from the pickled blob and the run
+    is silently unobserved."""
+    from repro.shard import run_sharded
+
+    result = run_sharded(shard_spec(2), build="snapshot", obs=True)
+    assert result.fingerprint == sharded_reference
+    merged = result.obs["merged"]
+    assert merged["counters"]["sim.events"] > 0
+    assert merged["counters"]["net.delivered"] > 0
+    assert merged["spans"].get("shard.snapshot_restore", {}).get("count") == 2
+    for blob in result.obs["per_shard"]:
+        assert blob["counters"].get("sim.events", 0) > 0, (
+            "a snapshot-restored worker recorded nothing: the finalize "
+            "re-capture is broken")
+
+
+def test_sharded_obs_traffic_ledger_cell(sharded_traffic_reference):
+    """Observability with an application workload attached: the merged
+    ledger and fingerprint must still match the unobserved reference, and
+    the per-shard blobs must carry the shard instruments."""
+    from repro.shard import run_sharded
+
+    result = run_sharded(shard_traffic_spec(2), obs=True)
+    assert result.fingerprint == sharded_traffic_reference.fingerprint
+    assert result.traffic == sharded_traffic_reference.traffic
+    for blob in result.obs["per_shard"]:
+        assert "shard.windows" in blob["counters"]
+        assert "shard.outbox_entries" in blob["counters"]
+
+
+def test_sharded_obs_merged_counters_reconcile(sharded_reference):
+    """Merged per-shard counters must reconcile with the fingerprint:
+    ``net.delivered`` sums exactly; ``sim.events`` counts the shared churn
+    events once per shard, so the merged total exceeds the fingerprint by
+    ``(k - 1) x shared``."""
+    from repro.shard import run_sharded
+
+    result = run_sharded(shard_spec(2), obs=True)
+    merged = result.obs["merged"]
+    assert merged["counters"]["net.delivered"] == result.fingerprint["delivered"]
+    assert merged["counters"]["sim.events"] >= result.fingerprint["processed_events"]
